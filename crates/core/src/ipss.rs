@@ -1,0 +1,437 @@
+//! IPSS — Importance-Pruned Stratified Sampling (Alg. 3), the paper's main
+//! contribution.
+//!
+//! Given a total budget of `γ` utility evaluations, IPSS exploits the *key
+//! combinations* phenomenon (Sec. IV-A): coalitions with few clients carry
+//! almost all of the information in the MC-SV, both because marginal utility
+//! saturates (observation (i)) and because mid-size strata carry tiny
+//! `1/C(n−1,|S|)` weights (observation (ii)).
+//!
+//! Phase 1 (lines 1–7): exhaustively evaluate every coalition of size
+//! `≤ k*`, where `k* = max{k : Σ_{j≤k} C(n,j) ≤ γ}`.
+//! Phase 2 (lines 8–14): spend the remaining budget on a *balanced* sample
+//! `P` of coalitions of size `k*+1` (every client covered equally often —
+//! constraint (3) of line 11).
+//! Estimation (lines 15–17): MC-SV restricted to the evaluated coalitions.
+//!
+//! Theorem 3 bounds the relative error by `O((n−k*)/(k*·n·t))` under the FL
+//! linear-regression model — see `fedval-theory` for the closed forms.
+
+use rand::Rng;
+
+use crate::coalition::{binom, binom_u128, subsets_of_size, subsets_up_to, Coalition};
+use crate::sampling::balanced_subsets_of_size;
+use crate::utility::Utility;
+
+/// How the partially-sampled stratum `k*` is normalised (DESIGN.md §3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IpssWeighting {
+    /// Stratified mean over the sampled pairs — unbiased for the stratum
+    /// and identical to the paper's formula whenever the stratum is fully
+    /// covered (as in the paper's Example 3). Default.
+    #[default]
+    StratifiedMean,
+    /// The literal line-16 weight `1/C(n−1, k*)` applied to the partial
+    /// stratum sum; underestimates the stratum when coverage is partial.
+    PaperLiteral,
+}
+
+/// Configuration for [`ipss`].
+#[derive(Clone, Debug)]
+pub struct IpssConfig {
+    /// Total sampling rounds `γ` — the budget of distinct FL train+evaluate
+    /// cycles. Must be at least 1 (`∅` alone) and is typically chosen per
+    /// Table III (`n=3→5`, `n=6→8`, `n=10→32`) or `n·log n` at scale.
+    pub gamma: usize,
+    /// Normalisation of the sampled stratum.
+    pub weighting: IpssWeighting,
+}
+
+impl IpssConfig {
+    pub fn new(gamma: usize) -> Self {
+        IpssConfig {
+            gamma,
+            weighting: IpssWeighting::StratifiedMean,
+        }
+    }
+
+    pub fn with_weighting(mut self, weighting: IpssWeighting) -> Self {
+        self.weighting = weighting;
+        self
+    }
+}
+
+/// Detailed outcome of an IPSS run.
+#[derive(Clone, Debug)]
+pub struct IpssOutcome {
+    /// Estimated data values `ϕ̂_1..ϕ̂_n`.
+    pub values: Vec<f64>,
+    /// The exhaustive-phase cut-off `k*` (line 1).
+    pub k_star: usize,
+    /// Coalitions evaluated in phase 1 (`Σ_{j≤k*} C(n,j)`).
+    pub exhaustive_evaluations: u128,
+    /// The balanced sample `P` of size-(k*+1) coalitions (line 8).
+    pub sampled: Vec<Coalition>,
+}
+
+/// Compute `k* = max{k ∈ ℕ : Σ_{j=0}^{k} C(n, j) ≤ γ}` (Alg. 3 line 1).
+///
+/// Returns `None` when even `∅` does not fit the budget (`γ = 0`).
+pub fn compute_k_star(n: usize, gamma: usize) -> Option<usize> {
+    if gamma == 0 {
+        return None;
+    }
+    let mut k_star = None;
+    for k in 0..=n {
+        if subsets_up_to(n, k) <= gamma as u128 {
+            k_star = Some(k);
+        } else {
+            break;
+        }
+    }
+    k_star
+}
+
+/// Alg. 3 — Importance-Pruned Stratified Sampling.
+pub fn ipss<U: Utility + ?Sized, R: Rng + ?Sized>(
+    u: &U,
+    cfg: &IpssConfig,
+    rng: &mut R,
+) -> IpssOutcome {
+    let n = u.n_clients();
+    assert!(n >= 1);
+    let k_star = compute_k_star(n, cfg.gamma)
+        .unwrap_or_else(|| panic!("γ = {} cannot even afford U(∅)", cfg.gamma));
+
+    // Phase 1 (lines 2-7): evaluate all coalitions of size ≤ k*.
+    let exhaustive = subsets_up_to(n, k_star);
+    for size in 0..=k_star {
+        for s in subsets_of_size(n, size) {
+            u.eval(s);
+        }
+    }
+
+    // Phase 2 (lines 8-14): balanced sample P of size-(k*+1) coalitions.
+    let sampled = if k_star < n {
+        let remaining = (cfg.gamma as u128 - exhaustive).min(binom_u128(n, k_star + 1));
+        let p = balanced_subsets_of_size(n, k_star + 1, remaining as usize, rng);
+        for &s in &p {
+            u.eval(s);
+        }
+        p
+    } else {
+        Vec::new()
+    };
+
+    // Lines 15-17: MC-SV over the evaluated coalitions.
+    let values = estimate(u, n, k_star, &sampled, cfg.weighting);
+    IpssOutcome {
+        values,
+        k_star,
+        exhaustive_evaluations: exhaustive,
+        sampled,
+    }
+}
+
+/// Convenience wrapper returning only the estimated values.
+pub fn ipss_values<U: Utility + ?Sized, R: Rng + ?Sized>(
+    u: &U,
+    cfg: &IpssConfig,
+    rng: &mut R,
+) -> Vec<f64> {
+    ipss(u, cfg, rng).values
+}
+
+fn estimate<U: Utility + ?Sized>(
+    u: &U,
+    n: usize,
+    k_star: usize,
+    sampled: &[Coalition],
+    weighting: IpssWeighting,
+) -> Vec<f64> {
+    let mut phi = vec![0.0f64; n];
+    let inv_n = 1.0 / n as f64;
+    let inv_binom: Vec<f64> = (0..n).map(|s| 1.0 / binom(n - 1, s)).collect();
+
+    // Exhaustively covered strata: pairs (S, S∪{i}) with |S∪{i}| ≤ k*.
+    // Each full stratum s contributes its exact average marginal
+    // contribution Σ_S (U(S∪{i})−U(S))/C(n−1,s).
+    for t_size in 1..=k_star {
+        for t in subsets_of_size(n, t_size) {
+            let ut = u.eval(t);
+            let w = inv_n * inv_binom[t_size - 1];
+            for i in t.members() {
+                phi[i] += (ut - u.eval(t.without(i))) * w;
+            }
+        }
+    }
+
+    // Sampled stratum k*: pairs (S, S∪{i}) with S∪{i} ∈ P, |S| = k*.
+    // U(S) is known from phase 1.
+    if !sampled.is_empty() {
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0usize; n];
+        for &t in sampled {
+            let ut = u.eval(t);
+            for i in t.members() {
+                sums[i] += ut - u.eval(t.without(i));
+                counts[i] += 1;
+            }
+        }
+        match weighting {
+            IpssWeighting::StratifiedMean => {
+                for i in 0..n {
+                    if counts[i] > 0 {
+                        phi[i] += inv_n * sums[i] / counts[i] as f64;
+                    }
+                }
+            }
+            IpssWeighting::PaperLiteral => {
+                let w = inv_n * inv_binom[k_star];
+                for i in 0..n {
+                    phi[i] += sums[i] * w;
+                }
+            }
+        }
+    }
+    phi
+}
+
+/// Configuration for [`ipss_adaptive`].
+#[derive(Clone, Debug)]
+pub struct AdaptiveIpssConfig {
+    /// Hard ceiling on utility evaluations.
+    pub max_gamma: usize,
+    /// Stop deepening once a stratum's mean |marginal contribution| falls
+    /// below this fraction of the first stratum's. The paper's Fig. 3
+    /// observation (i): marginal utility decays as coalitions grow — this
+    /// detects the plateau instead of committing to a fixed `γ` upfront.
+    pub plateau_fraction: f64,
+}
+
+impl Default for AdaptiveIpssConfig {
+    fn default() -> Self {
+        AdaptiveIpssConfig {
+            max_gamma: 1 << 14,
+            plateau_fraction: 0.05,
+        }
+    }
+}
+
+/// Adaptive-cutoff IPSS (an extension beyond the paper): instead of
+/// deriving `k*` from a fixed budget, deepen the exhaustive phase stratum
+/// by stratum until the observed marginal utilities plateau, then stop.
+///
+/// Returns the outcome together with the number of evaluations spent.
+/// Cheaper than fixed-γ IPSS on fast-saturating games and more accurate
+/// on slow-saturating ones at equal spend.
+pub fn ipss_adaptive<U: Utility + ?Sized>(u: &U, cfg: &AdaptiveIpssConfig) -> IpssOutcome {
+    let n = u.n_clients();
+    assert!(n >= 1);
+    assert!(cfg.max_gamma as u128 > n as u128, "budget too small");
+    assert!((0.0..1.0).contains(&cfg.plateau_fraction));
+
+    let mut spent: u128 = 1; // ∅
+    u.eval(Coalition::empty());
+    let mut k_star = 0usize;
+    let mut first_stratum_mean: Option<f64> = None;
+    for k in 1..=n {
+        let cost = binom_u128(n, k);
+        if spent + cost > cfg.max_gamma as u128 {
+            break;
+        }
+        // Evaluate the stratum and measure its mean |marginal|.
+        let mut abs_sum = 0.0f64;
+        let mut pairs = 0usize;
+        for t in subsets_of_size(n, k) {
+            let ut = u.eval(t);
+            for i in t.members() {
+                abs_sum += (ut - u.eval(t.without(i))).abs();
+                pairs += 1;
+            }
+        }
+        spent += cost;
+        k_star = k;
+        let mean_abs = abs_sum / pairs.max(1) as f64;
+        match first_stratum_mean {
+            None => first_stratum_mean = Some(mean_abs.max(f64::MIN_POSITIVE)),
+            Some(first) => {
+                if mean_abs < cfg.plateau_fraction * first {
+                    break; // marginals have plateaued — stop deepening
+                }
+            }
+        }
+    }
+    let values = estimate(u, n, k_star, &[], IpssWeighting::StratifiedMean);
+    IpssOutcome {
+        values,
+        k_star,
+        exhaustive_evaluations: spent,
+        sampled: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_mc_sv;
+    use crate::metrics::l2_relative_error;
+    use crate::sampling::coverage_counts;
+    use crate::utility::{
+        CachedUtility, HashUtility, SaturatingUtility, TableUtility,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k_star_matches_definition() {
+        // n = 4, γ = 10: Σ_{j≤1} C(4,j) = 5 ≤ 10 < Σ_{j≤2} = 11 ⇒ k* = 1
+        // (the paper's Example 3).
+        assert_eq!(compute_k_star(4, 10), Some(1));
+        assert_eq!(compute_k_star(4, 11), Some(2));
+        assert_eq!(compute_k_star(4, 16), Some(4));
+        assert_eq!(compute_k_star(4, 1), Some(0));
+        assert_eq!(compute_k_star(4, 0), None);
+        assert_eq!(compute_k_star(10, 32), Some(1)); // Table III: n=10, γ=32
+        assert_eq!(compute_k_star(3, 5), Some(1)); // Table III: n=3, γ=5
+        assert_eq!(compute_k_star(6, 8), Some(1)); // Table III: n=6, γ=8
+    }
+
+    #[test]
+    fn example3_structure() {
+        // Reproduce Example 3's phase structure: n = 4, γ = 10, k* = 1,
+        // 5 exhaustive evaluations and 5 sampled pairs of size 2.
+        let u = CachedUtility::new(TableUtility::from_fn(4, |s| {
+            0.1 + 0.85 * (1.0 - (-0.9 * s.size() as f64).exp())
+        }));
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = ipss(&u, &IpssConfig::new(10), &mut rng);
+        assert_eq!(out.k_star, 1);
+        assert_eq!(out.exhaustive_evaluations, 5);
+        assert_eq!(out.sampled.len(), 5);
+        assert!(out.sampled.iter().all(|s| s.size() == 2));
+        assert_eq!(u.stats().evaluations, 10, "exactly γ evaluations");
+        // Balanced coverage: 5 pairs over 4 clients ⇒ spread ≤ 1.
+        let cov = coverage_counts(4, &out.sampled);
+        let max = *cov.iter().max().unwrap();
+        let min = *cov.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        for gamma in [1usize, 5, 17, 64, 200] {
+            let u = CachedUtility::new(HashUtility { n: 8, seed: 2 });
+            let mut rng = StdRng::seed_from_u64(3);
+            let _ = ipss(&u, &IpssConfig::new(gamma), &mut rng);
+            assert!(
+                u.stats().evaluations <= gamma.min(256),
+                "γ={gamma}: {} evals",
+                u.stats().evaluations
+            );
+        }
+    }
+
+    #[test]
+    fn full_budget_is_exact() {
+        let u = TableUtility::paper_table1();
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = ipss(&u, &IpssConfig::new(8), &mut rng);
+        assert_eq!(out.k_star, 3);
+        let exact = exact_mc_sv(&u);
+        for (a, e) in out.values.iter().zip(&exact) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ipss_beats_truncation_error_bound_on_saturating_utility() {
+        // On a concave utility with 10 clients and γ = 32 (Table III), the
+        // error should be small — the key-combinations phenomenon. The
+        // truncated strata s ≥ 2 together carry only gain·e^{−2·rate} of
+        // the total value, ≈ 9% at rate = 1.2.
+        let u = SaturatingUtility::uniform(10, 0.1, 0.85, 1.2);
+        let exact = exact_mc_sv(&u);
+        let mut rng = StdRng::seed_from_u64(11);
+        let approx = ipss_values(&u, &IpssConfig::new(32), &mut rng);
+        let err = l2_relative_error(&approx, &exact);
+        assert!(err < 0.12, "relative error {err} too large");
+    }
+
+    #[test]
+    fn weighting_modes_agree_when_stratum_fully_covered() {
+        // γ large enough that the (k*+1) stratum is fully sampled: the
+        // stratified mean equals the paper-literal weight.
+        let u = TableUtility::paper_table1();
+        // n=3: Σ_{j≤1} = 4; γ = 7 covers all C(3,2)=3 pairs of size 2.
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let a = ipss_values(&u, &IpssConfig::new(7), &mut r1);
+        let b = ipss_values(
+            &u,
+            &IpssConfig::new(7).with_weighting(IpssWeighting::PaperLiteral),
+            &mut r2,
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let u = HashUtility { n: 9, seed: 4 };
+        let a = ipss_values(&u, &IpssConfig::new(20), &mut StdRng::seed_from_u64(42));
+        let b = ipss_values(&u, &IpssConfig::new(20), &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_fast_saturating_utility() {
+        // rate = 2.5: marginals collapse after the first stratum.
+        let fast = CachedUtility::new(SaturatingUtility::uniform(10, 0.1, 0.85, 2.5));
+        let out = ipss_adaptive(&fast, &AdaptiveIpssConfig::default());
+        assert!(out.k_star <= 3, "k* = {} should be small", out.k_star);
+        // And still accurate: the ignored strata carry < 1% of the value.
+        let exact = exact_mc_sv(&fast);
+        let err = crate::metrics::l2_relative_error(&out.values, &exact);
+        assert!(err < 0.05, "err {err}");
+    }
+
+    #[test]
+    fn adaptive_goes_deeper_on_slow_saturating_utility() {
+        let fast = CachedUtility::new(SaturatingUtility::uniform(10, 0.1, 0.85, 2.5));
+        let slow = CachedUtility::new(SaturatingUtility::uniform(10, 0.1, 0.85, 0.15));
+        let k_fast = ipss_adaptive(&fast, &AdaptiveIpssConfig::default()).k_star;
+        let k_slow = ipss_adaptive(&slow, &AdaptiveIpssConfig::default()).k_star;
+        assert!(
+            k_slow > k_fast,
+            "slow-saturating game should deepen further ({k_slow} vs {k_fast})"
+        );
+    }
+
+    #[test]
+    fn adaptive_respects_budget_ceiling() {
+        let u = CachedUtility::new(SaturatingUtility::uniform(12, 0.1, 0.85, 0.05));
+        let cfg = AdaptiveIpssConfig {
+            max_gamma: 100,
+            plateau_fraction: 0.0001,
+        };
+        let out = ipss_adaptive(&u, &cfg);
+        assert!(u.stats().evaluations <= 100);
+        assert!(out.exhaustive_evaluations <= 100);
+    }
+
+    #[test]
+    fn large_n_small_budget() {
+        // The Fig. 9 regime: n = 100, γ = n·log₂(n) ≈ 664 ⇒ k* = 1.
+        let u = CachedUtility::new(SaturatingUtility::uniform(100, 0.1, 0.85, 0.1));
+        let gamma = (100.0 * (100.0f64).ln()) as usize; // ≈ 460
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = ipss(&u, &IpssConfig::new(gamma), &mut rng);
+        assert_eq!(out.k_star, 1);
+        assert_eq!(u.stats().evaluations, gamma);
+        assert_eq!(out.values.len(), 100);
+        // Every client must receive a positive value on a monotone utility.
+        assert!(out.values.iter().all(|&v| v > 0.0));
+    }
+}

@@ -1,0 +1,90 @@
+//! # fedval-core
+//!
+//! Shapley-value data valuation for federated learning — a Rust
+//! implementation of *"Efficient Data Valuation Approximation in Federated
+//! Learning: A Sampling-based Approach"* (Wei et al., ICDE 2025).
+//!
+//! The crate provides, over an abstract coalition [`utility::Utility`]:
+//!
+//! * exact computation under the three equivalent SV expressions
+//!   ([`exact::exact_mc_sv`], [`exact::exact_cc_sv`], [`exact::exact_perm_sv`]);
+//! * the unified stratified-sampling framework of Alg. 1
+//!   ([`stratified::stratified_sampling`]) supporting both the MC-SV and
+//!   CC-SV computation schemes;
+//! * K-Greedy (Alg. 2, [`kgreedy::k_greedy`]) — the diagnostic that exposes
+//!   the *key combinations* phenomenon;
+//! * **IPSS** (Alg. 3, [`ipss::ipss`]) — the paper's importance-pruned
+//!   stratified sampler;
+//! * the sampling baselines of Sec. V ([`baselines`]): Extended-TMC,
+//!   Extended-GTB and CC-Shapley;
+//! * further valuation notions for cross-checks ([`banzhaf`], [`loo`],
+//!   [`owen`]): Data-Banzhaf, leave-one-out and Owen multilinear
+//!   sampling;
+//! * the evaluation metrics of Sec. V-A ([`metrics`]), including the
+//!   `l2` relative error (Eq. 21), property-based proxies (Fig. 9) and
+//!   Pareto-front extraction (Fig. 8).
+//!
+//! Real FL training lives in `fedval-fl`; the closed-form linear-regression
+//! analysis (Lemma 1, Theorems 2–3) lives in `fedval-theory`. Everything
+//! here is substrate-agnostic.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fedval_core::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // The paper's three-hospital example (Table I).
+//! let utility = TableUtility::paper_table1();
+//! let exact = exact_mc_sv(&utility);
+//! assert!((exact[0] - 0.22).abs() < 1e-9);
+//!
+//! // IPSS with the budget the paper uses for n = 3 (Table III: γ = 5).
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let approx = ipss_values(&utility, &IpssConfig::new(5), &mut rng);
+//! let err = l2_relative_error(&approx, &exact);
+//! assert!(err < 0.5);
+//! ```
+
+pub mod banzhaf;
+pub mod baselines;
+pub mod coalition;
+pub mod exact;
+pub mod ipss;
+pub mod kgreedy;
+pub mod loo;
+pub mod metrics;
+pub mod owen;
+pub mod sampling;
+pub mod stratified;
+pub mod utility;
+pub mod valuation;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::baselines::{
+        cc_shapley, extended_gtb, extended_gtb_values, extended_tmc, CcShapConfig, GtbConfig,
+        TmcConfig,
+    };
+    pub use crate::coalition::{binom, binom_u128, subsets_up_to, Coalition};
+    pub use crate::exact::{exact_cc_sv, exact_mc_sv, exact_perm_sv};
+    pub use crate::banzhaf::{banzhaf_msr, banzhaf_pruned, exact_banzhaf, BanzhafConfig};
+    pub use crate::ipss::{
+        compute_k_star, ipss, ipss_adaptive, ipss_values, AdaptiveIpssConfig, IpssConfig,
+        IpssWeighting,
+    };
+    pub use crate::kgreedy::{k_greedy, k_greedy_evaluations};
+    pub use crate::loo::leave_one_out;
+    pub use crate::owen::{owen_sampling, OwenConfig};
+    pub use crate::metrics::{
+        kendall_tau, l2_relative_error, max_abs_error, pareto_front, property_error,
+    };
+    pub use crate::stratified::{
+        stratified_sampling, stratified_sampling_values, Scheme, StratifiedConfig,
+    };
+    pub use crate::utility::{
+        AdditiveUtility, CachedUtility, EvalStats, HashUtility, NoisyUtility, SaturatingUtility,
+        TableUtility, Utility, WeightedMajorityUtility,
+    };
+    pub use crate::valuation::{run_valuation, ValuationOutcome};
+}

@@ -1,0 +1,189 @@
+//! Owen sampling — the multilinear-extension route to the Shapley value,
+//! the third classical estimator family alongside permutation sampling
+//! (Extended-TMC) and stratified coalition sampling (Alg. 1 / IPSS).
+//!
+//! The multilinear extension of the game is
+//! `e_i(q) = E[U(S_q ∪ {i}) − U(S_q)]` where `S_q` includes every other
+//! client independently with probability `q`; the Shapley value is
+//! `ϕ_i = ∫₀¹ e_i(q) dq`. Owen sampling estimates the integral on a `q`
+//! grid with Monte-Carlo coalitions at each node, optionally with
+//! antithetic pairing (`S_q` and its complement) for variance reduction.
+
+use rand::Rng;
+
+use crate::coalition::Coalition;
+use crate::utility::Utility;
+
+/// Configuration for [`owen_sampling`].
+#[derive(Clone, Debug)]
+pub struct OwenConfig {
+    /// Number of `q` grid nodes on `[0, 1]` (trapezoid rule). ≥ 2.
+    pub q_nodes: usize,
+    /// Coalitions sampled per grid node.
+    pub samples_per_node: usize,
+    /// Pair each sample with its complement (antithetic sampling) —
+    /// halves the variance contributed by the `q ↔ 1−q` symmetry at no
+    /// extra per-sample cost beyond the second evaluation.
+    pub antithetic: bool,
+}
+
+impl OwenConfig {
+    pub fn new(q_nodes: usize, samples_per_node: usize) -> Self {
+        OwenConfig {
+            q_nodes,
+            samples_per_node,
+            antithetic: false,
+        }
+    }
+
+    pub fn with_antithetic(mut self) -> Self {
+        self.antithetic = true;
+        self
+    }
+}
+
+/// Owen estimator of the Shapley value.
+pub fn owen_sampling<U: Utility + ?Sized, R: Rng + ?Sized>(
+    u: &U,
+    cfg: &OwenConfig,
+    rng: &mut R,
+) -> Vec<f64> {
+    let n = u.n_clients();
+    assert!(n >= 1);
+    assert!(cfg.q_nodes >= 2 && cfg.samples_per_node >= 1);
+    // e_hat[node][i] accumulates marginal contributions of client i at q.
+    let mut phi = vec![0.0f64; n];
+    let mut node_means = vec![vec![0.0f64; n]; cfg.q_nodes];
+    for (node, means) in node_means.iter_mut().enumerate() {
+        let q = node as f64 / (cfg.q_nodes - 1) as f64;
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0usize; n];
+        for _ in 0..cfg.samples_per_node {
+            let mut mask = 0u128;
+            for i in 0..n {
+                if rng.random::<f64>() < q {
+                    mask |= 1 << i;
+                }
+            }
+            accumulate(u, Coalition(mask), n, &mut sums, &mut counts);
+            if cfg.antithetic {
+                let comp = Coalition(mask).complement(n);
+                accumulate(u, comp, n, &mut sums, &mut counts);
+            }
+        }
+        for (mean, (&sum, &count)) in means.iter_mut().zip(sums.iter().zip(&counts)) {
+            *mean = if count > 0 { sum / count as f64 } else { 0.0 };
+        }
+    }
+    // Trapezoid rule over the q grid.
+    let h = 1.0 / (cfg.q_nodes - 1) as f64;
+    for (node, means) in node_means.iter().enumerate() {
+        let weight = if node == 0 || node == cfg.q_nodes - 1 {
+            h / 2.0
+        } else {
+            h
+        };
+        for (p, m) in phi.iter_mut().zip(means) {
+            *p += weight * m;
+        }
+    }
+    phi
+}
+
+/// Record every client's marginal contribution around coalition `s` (the
+/// shared-sample trick): for `i ∈ s` the base coalition is `s\{i}` (a
+/// valid `S_q ⊆ N\{i}` draw), for `i ∉ s` it is `s` itself — so every
+/// sample informs every client, including at the grid ends `q ∈ {0, 1}`.
+fn accumulate<U: Utility + ?Sized>(
+    u: &U,
+    s: Coalition,
+    n: usize,
+    sums: &mut [f64],
+    counts: &mut [usize],
+) {
+    let base = u.eval(s);
+    for i in 0..n {
+        if s.contains(i) {
+            sums[i] += base - u.eval(s.without(i));
+        } else {
+            sums[i] += u.eval(s.with(i)) - base;
+        }
+        counts[i] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_mc_sv;
+    use crate::metrics::l2_relative_error;
+    use crate::utility::{AdditiveUtility, SaturatingUtility, TableUtility};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn additive_game_is_exact_per_sample() {
+        let w = vec![0.2, 0.3, 0.5];
+        let u = AdditiveUtility::new(0.1, w.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        let phi = owen_sampling(&u, &OwenConfig::new(3, 2), &mut rng);
+        for (p, e) in phi.iter().zip(&w) {
+            assert!((p - e).abs() < 1e-12, "{phi:?}");
+        }
+    }
+
+    #[test]
+    fn converges_to_exact_shapley() {
+        let u = TableUtility::paper_table1();
+        let exact = exact_mc_sv(&u);
+        let mut rng = StdRng::seed_from_u64(1);
+        let phi = owen_sampling(&u, &OwenConfig::new(21, 400), &mut rng);
+        let err = l2_relative_error(&phi, &exact);
+        assert!(err < 0.05, "error {err}: {phi:?} vs {exact:?}");
+    }
+
+    #[test]
+    fn antithetic_reduces_variance() {
+        let u = SaturatingUtility::uniform(6, 0.1, 0.8, 0.8);
+        let exact = exact_mc_sv(&u);
+        let spread = |antithetic: bool| -> f64 {
+            let runs = 40;
+            let mut errs = Vec::with_capacity(runs);
+            for r in 0..runs {
+                let mut rng = StdRng::seed_from_u64(100 + r as u64);
+                let cfg = if antithetic {
+                    OwenConfig::new(5, 4).with_antithetic()
+                } else {
+                    // Same evaluation budget: double the plain samples.
+                    OwenConfig::new(5, 8)
+                };
+                let phi = owen_sampling(&u, &cfg, &mut rng);
+                errs.push(l2_relative_error(&phi, &exact));
+            }
+            crate::metrics::variance(&errs)
+        };
+        let v_plain = spread(false);
+        let v_anti = spread(true);
+        assert!(
+            v_anti < v_plain * 1.5,
+            "antithetic variance {v_anti} should not exceed plain {v_plain} substantially"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let u = TableUtility::paper_table1();
+        let cfg = OwenConfig::new(5, 10);
+        let a = owen_sampling(&u, &cfg, &mut StdRng::seed_from_u64(9));
+        let b = owen_sampling(&u, &cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_client() {
+        let u = TableUtility::new(1, vec![0.3, 0.9]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let phi = owen_sampling(&u, &OwenConfig::new(2, 4), &mut rng);
+        assert!((phi[0] - 0.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,294 @@
+//! Uniform and balanced sampling of coalitions, shared by the stratified
+//! framework (Alg. 1), IPSS (Alg. 3) and the sampling baselines.
+
+use std::collections::HashSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::coalition::{binom_u128, subsets_of_size, Coalition};
+
+/// Draw one uniformly random coalition of exactly `k` members out of `n`
+/// clients (partial Fisher–Yates).
+pub fn random_subset_of_size<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Coalition {
+    assert!(k <= n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut mask = 0u128;
+    for j in 0..k {
+        let pick = rng.random_range(j..n);
+        idx.swap(j, pick);
+        mask |= 1u128 << idx[j];
+    }
+    Coalition(mask)
+}
+
+/// Draw `count` *distinct* uniformly random coalitions of size `k`.
+///
+/// If `count ≥ C(n, k)` the entire stratum is returned. For dense requests
+/// (more than half the stratum, when the stratum is small enough to
+/// enumerate) we enumerate-and-shuffle; otherwise rejection sampling is
+/// fast because collisions are rare.
+pub fn distinct_subsets_of_size<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Coalition> {
+    let stratum_size = binom_u128(n, k);
+    if count as u128 >= stratum_size {
+        return subsets_of_size(n, k).collect();
+    }
+    // Dense request on an enumerable stratum: shuffle the full enumeration.
+    if stratum_size <= 1 << 16 && (count as u128) * 2 >= stratum_size {
+        let mut all: Vec<Coalition> = subsets_of_size(n, k).collect();
+        all.shuffle(rng);
+        all.truncate(count);
+        return all;
+    }
+    let mut seen = HashSet::with_capacity(count * 2);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let s = random_subset_of_size(n, k, rng);
+        if seen.insert(s.0) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Draw `count` distinct coalitions of size `k` such that every client is
+/// covered (appears in) as equally as possible — the constraint `C_i = C_j`
+/// of Alg. 3 line 11.
+///
+/// Uses a coverage-greedy design: each coalition takes the `k` clients with
+/// the currently lowest coverage, breaking ties uniformly at random. As long
+/// as a fresh coalition can be formed this keeps `max_i C_i − min_i C_i ≤ 1`;
+/// when `n ∤ count·k` exact equality is impossible, so the ≤ 1 spread is the
+/// best achievable (documented deviation in DESIGN.md). Duplicate coalitions
+/// are rejected and re-drawn with new tie-breaks; after repeated failures we
+/// fall back to any unused coalition so the function always terminates with
+/// `min(count, C(n, k))` coalitions.
+pub fn balanced_subsets_of_size<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Coalition> {
+    assert!(k >= 1 && k <= n);
+    let stratum_size = binom_u128(n, k);
+    if count as u128 >= stratum_size {
+        return subsets_of_size(n, k).collect();
+    }
+    let mut coverage = vec![0u32; n];
+    let mut chosen: HashSet<u128> = HashSet::with_capacity(count * 2);
+    let mut out = Vec::with_capacity(count);
+    let mut order: Vec<usize> = (0..n).collect();
+    'outer: while out.len() < count {
+        for _attempt in 0..32 {
+            // Sort clients by (coverage, random tie-break).
+            let mut keyed: Vec<(u32, u64, usize)> = order
+                .iter()
+                .map(|&i| (coverage[i], rng.random::<u64>(), i))
+                .collect();
+            keyed.sort_unstable();
+            let members = keyed[..k].iter().map(|&(_, _, i)| i);
+            let s = Coalition::from_members(members);
+            if chosen.insert(s.0) {
+                for i in s.members() {
+                    coverage[i] += 1;
+                }
+                out.push(s);
+                continue 'outer;
+            }
+        }
+        // Fallback: any unused subset (can unbalance coverage; repaired
+        // below).
+        loop {
+            let s = random_subset_of_size(n, k, rng);
+            if chosen.insert(s.0) {
+                for i in s.members() {
+                    coverage[i] += 1;
+                }
+                out.push(s);
+                break;
+            }
+        }
+        order.shuffle(rng);
+    }
+    repair_coverage(n, &mut out, &mut chosen, &mut coverage, rng);
+    out
+}
+
+/// Post-pass restoring the ≤1 coverage spread after greedy fallbacks:
+/// move membership from over-covered to under-covered clients by swapping
+/// one member of an existing coalition, keeping all coalitions distinct.
+fn repair_coverage<R: Rng + ?Sized>(
+    n: usize,
+    out: &mut [Coalition],
+    chosen: &mut HashSet<u128>,
+    coverage: &mut [u32],
+    rng: &mut R,
+) {
+    for _ in 0..out.len() * 4 {
+        let max = *coverage.iter().max().unwrap();
+        let min = *coverage.iter().min().unwrap();
+        if max - min <= 1 {
+            return;
+        }
+        let over: Vec<usize> = (0..n).filter(|&i| coverage[i] == max).collect();
+        let under: Vec<usize> = (0..n).filter(|&i| coverage[i] == min).collect();
+        let a = over[rng.random_range(0..over.len())];
+        let b = under[rng.random_range(0..under.len())];
+        // Find a coalition containing a but not b whose a→b swap is unused.
+        let mut swapped = false;
+        for slot in out.iter_mut() {
+            let s = *slot;
+            if s.contains(a) && !s.contains(b) {
+                let t = s.without(a).with(b);
+                if !chosen.contains(&t.0) {
+                    chosen.remove(&s.0);
+                    chosen.insert(t.0);
+                    *slot = t;
+                    coverage[a] -= 1;
+                    coverage[b] += 1;
+                    swapped = true;
+                    break;
+                }
+            }
+        }
+        if !swapped {
+            // No legal swap for this (a, b) pair — give up; the residual
+            // spread is at most the number of fallbacks, which is tiny.
+            return;
+        }
+    }
+}
+
+/// Draw one uniformly random permutation of `0..n`.
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    perm
+}
+
+/// Coverage counts `C_i = Σ_{S∈P} 1[i ∈ S]` of a set of coalitions.
+pub fn coverage_counts(n: usize, subsets: &[Coalition]) -> Vec<u32> {
+    let mut cov = vec![0u32; n];
+    for s in subsets {
+        for i in s.members() {
+            cov[i] += 1;
+        }
+    }
+    cov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_subset_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in 1..=12usize {
+            for k in 0..=n {
+                let s = random_subset_of_size(n, k, &mut rng);
+                assert_eq!(s.size(), k);
+                assert!(s.is_subset_of(Coalition::full(n)));
+            }
+        }
+    }
+
+    #[test]
+    fn random_subset_is_roughly_uniform() {
+        // Each of the C(4,2)=6 subsets should appear ~1/6 of the time.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 12_000;
+        for _ in 0..trials {
+            let s = random_subset_of_size(4, 2, &mut rng);
+            *counts.entry(s.0).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (_, c) in counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 1.0 / 6.0).abs() < 0.02, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn distinct_subsets_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let subs = distinct_subsets_of_size(10, 3, 50, &mut rng);
+        assert_eq!(subs.len(), 50);
+        let set: HashSet<u128> = subs.iter().map(|s| s.0).collect();
+        assert_eq!(set.len(), 50);
+        for s in subs {
+            assert_eq!(s.size(), 3);
+        }
+    }
+
+    #[test]
+    fn distinct_subsets_saturate_to_full_stratum() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let subs = distinct_subsets_of_size(5, 2, 1000, &mut rng);
+        assert_eq!(subs.len(), 10); // C(5,2)
+    }
+
+    #[test]
+    fn distinct_subsets_dense_request() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // 8 of C(6,3) = 20 triggers the enumerate-and-shuffle path... request
+        // 12 (> half) to be sure.
+        let subs = distinct_subsets_of_size(6, 3, 12, &mut rng);
+        assert_eq!(subs.len(), 12);
+        let set: HashSet<u128> = subs.iter().map(|s| s.0).collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn balanced_subsets_have_tight_coverage_spread() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for (n, k, count) in [(10, 3, 20), (10, 2, 5), (12, 4, 9), (100, 2, 359)] {
+            let subs = balanced_subsets_of_size(n, k, count, &mut rng);
+            assert_eq!(subs.len(), count);
+            let set: HashSet<u128> = subs.iter().map(|s| s.0).collect();
+            assert_eq!(set.len(), count, "distinctness");
+            let cov = coverage_counts(n, &subs);
+            let max = *cov.iter().max().unwrap();
+            let min = *cov.iter().min().unwrap();
+            assert!(
+                max - min <= 1,
+                "coverage spread {max}-{min} for n={n} k={k} count={count}: {cov:?}"
+            );
+            let total: u32 = cov.iter().sum();
+            assert_eq!(total as usize, count * k);
+        }
+    }
+
+    #[test]
+    fn balanced_subsets_exact_equality_when_divisible() {
+        // count·k divisible by n ⇒ every client covered exactly count·k/n times.
+        let mut rng = StdRng::seed_from_u64(7);
+        let subs = balanced_subsets_of_size(8, 2, 12, &mut rng);
+        let cov = coverage_counts(8, &subs);
+        assert!(cov.iter().all(|&c| c == 3), "{cov:?}");
+    }
+
+    #[test]
+    fn balanced_subsets_saturate() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let subs = balanced_subsets_of_size(5, 2, 100, &mut rng);
+        assert_eq!(subs.len(), 10);
+    }
+
+    #[test]
+    fn permutations_are_permutations() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = random_permutation(7, &mut rng);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,464 @@
+//! The utility function `U(·)` of SV-based data valuation (Def. 2) and
+//! reusable implementations.
+//!
+//! In the paper the utility of a coalition `S` is the test accuracy of the
+//! FL model `M_S` trained on the datasets of the clients in `S`. Every
+//! approximation algorithm interacts with utilities only through the
+//! [`Utility`] trait, so the same code runs against real FL training
+//! (`fedval-fl`), the closed-form linear-regression model (`fedval-theory`)
+//! and the synthetic utilities below.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+
+use crate::coalition::Coalition;
+
+/// A coalition utility function `U : 2^N → ℝ`.
+///
+/// Implementations must be deterministic: repeated evaluation of the same
+/// coalition must return the same value (the FL substrate achieves this by
+/// deriving its training seed from the coalition mask). Determinism is what
+/// makes memoisation via [`CachedUtility`] sound.
+pub trait Utility: Sync {
+    /// Number of FL clients `n = |N|`.
+    fn n_clients(&self) -> usize;
+
+    /// Evaluate `U(M_S)`: train (or look up) the model for coalition `s` and
+    /// measure its performance on the test set.
+    fn eval(&self, s: Coalition) -> f64;
+
+    /// The grand-coalition utility `U(M_N)`; used by several baselines.
+    fn eval_full(&self) -> f64 {
+        self.eval(Coalition::full(self.n_clients()))
+    }
+}
+
+impl<U: Utility + ?Sized> Utility for &U {
+    fn n_clients(&self) -> usize {
+        (**self).n_clients()
+    }
+    fn eval(&self, s: Coalition) -> f64 {
+        (**self).eval(s)
+    }
+}
+
+/// Evaluation statistics collected by [`CachedUtility`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EvalStats {
+    /// Distinct coalitions evaluated (cache misses) — the paper's unit of
+    /// cost, since each corresponds to one FL train+evaluate cycle (`τ`).
+    pub evaluations: usize,
+    /// Total cache lookups, including hits.
+    pub lookups: usize,
+    /// Wall-clock time spent inside the inner utility.
+    pub eval_time: Duration,
+}
+
+/// Memoising wrapper around a [`Utility`].
+///
+/// The SV approximation algorithms repeatedly touch overlapping coalitions
+/// (e.g. the MC-SV pairing `S` / `S\{i}`); caching guarantees each FL
+/// training process runs exactly once per coalition, mirroring the paper's
+/// accounting where cost is the number of *distinct* trained models.
+pub struct CachedUtility<U: Utility> {
+    inner: U,
+    cache: RwLock<HashMap<u128, f64>>,
+    evaluations: AtomicU64,
+    lookups: AtomicU64,
+    eval_nanos: AtomicU64,
+}
+
+impl<U: Utility> CachedUtility<U> {
+    pub fn new(inner: U) -> Self {
+        CachedUtility {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+            evaluations: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            eval_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Access the wrapped utility.
+    pub fn inner(&self) -> &U {
+        &self.inner
+    }
+
+    /// Statistics accumulated since construction (or the last `reset_stats`).
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            evaluations: self.evaluations.load(Ordering::Relaxed) as usize,
+            lookups: self.lookups.load(Ordering::Relaxed) as usize,
+            eval_time: Duration::from_nanos(self.eval_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Reset the statistics counters (the cache itself is kept).
+    pub fn reset_stats(&self) {
+        self.evaluations.store(0, Ordering::Relaxed);
+        self.lookups.store(0, Ordering::Relaxed);
+        self.eval_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Clear both the memo table and the statistics.
+    pub fn clear(&self) {
+        self.cache.write().unwrap().clear();
+        self.reset_stats();
+    }
+
+    /// Number of memoised coalitions.
+    pub fn cached_len(&self) -> usize {
+        self.cache.read().unwrap().len()
+    }
+
+    /// True iff the coalition has already been evaluated.
+    pub fn is_cached(&self, s: Coalition) -> bool {
+        self.cache.read().unwrap().contains_key(&s.0)
+    }
+}
+
+impl<U: Utility> Utility for CachedUtility<U> {
+    fn n_clients(&self) -> usize {
+        self.inner.n_clients()
+    }
+
+    fn eval(&self, s: Coalition) -> f64 {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(&v) = self.cache.read().unwrap().get(&s.0) {
+            return v;
+        }
+        let start = Instant::now();
+        let v = self.inner.eval(s);
+        let nanos = start.elapsed().as_nanos() as u64;
+        let mut cache = self.cache.write().unwrap();
+        // Double-check under the write lock: another thread may have filled
+        // the entry while we were training. Count only the first evaluation.
+        let entry = cache.entry(s.0);
+        if let std::collections::hash_map::Entry::Vacant(e) = entry {
+            e.insert(v);
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
+            self.eval_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+        v
+    }
+}
+
+/// Utility backed by an explicit table of all `2^n` coalition values.
+///
+/// Mirrors the worked examples of the paper (Table I, Fig. 2) and is the
+/// workhorse of the unit tests.
+#[derive(Clone, Debug)]
+pub struct TableUtility {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl TableUtility {
+    /// Build from a table indexed by coalition bitmask (`values.len() == 2^n`).
+    pub fn new(n: usize, values: Vec<f64>) -> Self {
+        assert!(n <= 24, "TableUtility stores 2^n values; n too large");
+        assert_eq!(values.len(), 1usize << n, "need exactly 2^n values");
+        TableUtility { n, values }
+    }
+
+    /// Build from a function over coalitions.
+    pub fn from_fn(n: usize, f: impl Fn(Coalition) -> f64) -> Self {
+        let values = (0..(1u128 << n)).map(|m| f(Coalition(m))).collect();
+        TableUtility { n, values }
+    }
+
+    /// The toy three-hospital example of the paper (Table I):
+    /// exact Shapley values `ϕ ≈ (0.22, 0.32, 0.32)`.
+    pub fn paper_table1() -> Self {
+        // Masks: bit0 = client 1, bit1 = client 2, bit2 = client 3.
+        // S:      ∅    {1}  {2}  {1,2} {3}  {1,3} {2,3} {1,2,3}
+        TableUtility::new(3, vec![0.10, 0.50, 0.70, 0.80, 0.60, 0.90, 0.90, 0.96])
+    }
+}
+
+impl Utility for TableUtility {
+    fn n_clients(&self) -> usize {
+        self.n
+    }
+    fn eval(&self, s: Coalition) -> f64 {
+        self.values[s.0 as usize]
+    }
+}
+
+/// Additive utility `U(S) = base + Σ_{i∈S} w_i`.
+///
+/// By linearity the exact Shapley value of client `i` is exactly `w_i`,
+/// making this the canonical ground-truth fixture for estimator tests.
+#[derive(Clone, Debug)]
+pub struct AdditiveUtility {
+    pub base: f64,
+    pub weights: Vec<f64>,
+}
+
+impl AdditiveUtility {
+    pub fn new(base: f64, weights: Vec<f64>) -> Self {
+        assert!(weights.len() <= crate::coalition::MAX_CLIENTS);
+        AdditiveUtility { base, weights }
+    }
+}
+
+impl Utility for AdditiveUtility {
+    fn n_clients(&self) -> usize {
+        self.weights.len()
+    }
+    fn eval(&self, s: Coalition) -> f64 {
+        self.base + s.members().map(|i| self.weights[i]).sum::<f64>()
+    }
+}
+
+/// Monotone, concave utility modelling FL accuracy saturation:
+/// `U(S) = base + gain · (1 − exp(−rate · Σ_{i∈S} size_i))`.
+///
+/// This is the shape underlying the *key combinations* phenomenon
+/// (Sec. IV-A, observation (i)): marginal utility decays as coalitions grow.
+#[derive(Clone, Debug)]
+pub struct SaturatingUtility {
+    pub base: f64,
+    pub gain: f64,
+    pub rate: f64,
+    /// Per-client dataset sizes (relative weights).
+    pub sizes: Vec<f64>,
+}
+
+impl SaturatingUtility {
+    pub fn new(base: f64, gain: f64, rate: f64, sizes: Vec<f64>) -> Self {
+        assert!(rate > 0.0 && gain >= 0.0);
+        assert!(sizes.iter().all(|&s| s >= 0.0));
+        SaturatingUtility {
+            base,
+            gain,
+            rate,
+            sizes,
+        }
+    }
+
+    /// Equal-sized clients.
+    pub fn uniform(n: usize, base: f64, gain: f64, rate: f64) -> Self {
+        Self::new(base, gain, rate, vec![1.0; n])
+    }
+}
+
+impl Utility for SaturatingUtility {
+    fn n_clients(&self) -> usize {
+        self.sizes.len()
+    }
+    fn eval(&self, s: Coalition) -> f64 {
+        let mass: f64 = s.members().map(|i| self.sizes[i]).sum();
+        self.base + self.gain * (1.0 - (-self.rate * mass).exp())
+    }
+}
+
+/// The weighted majority game: `U(S) = 1` iff `Σ_{i∈S} w_i > quota`.
+///
+/// Contrast fixture from classical game theory (Sec. I, Limitation 2):
+/// its binary-jump utility is what makes exact SV #P-hard and is exactly
+/// what FL accuracy utilities do *not* look like.
+#[derive(Clone, Debug)]
+pub struct WeightedMajorityUtility {
+    pub weights: Vec<f64>,
+    pub quota: f64,
+}
+
+impl Utility for WeightedMajorityUtility {
+    fn n_clients(&self) -> usize {
+        self.weights.len()
+    }
+    fn eval(&self, s: Coalition) -> f64 {
+        let total: f64 = s.members().map(|i| self.weights[i]).sum();
+        if total > self.quota {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// splitmix64 — tiny, high-quality mixing function used to derive
+/// deterministic per-coalition pseudo-randomness.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic pseudo-random value in `[0, 1)` derived from a coalition
+/// mask and a seed. Used by [`HashUtility`] and by the FL substrate to
+/// derive coalition-specific training seeds.
+pub fn coalition_unit_hash(s: Coalition, seed: u64) -> f64 {
+    let lo = splitmix64(seed ^ (s.0 as u64));
+    let hi = splitmix64(seed.rotate_left(17) ^ ((s.0 >> 64) as u64) ^ lo);
+    (hi >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Seeded arbitrary utility: `U(S)` is a deterministic hash of the mask.
+///
+/// Has no structure at all (not monotone, not additive), which makes it the
+/// adversarial fixture for unbiasedness and axiom property tests.
+#[derive(Clone, Debug)]
+pub struct HashUtility {
+    pub n: usize,
+    pub seed: u64,
+}
+
+impl Utility for HashUtility {
+    fn n_clients(&self) -> usize {
+        self.n
+    }
+    fn eval(&self, s: Coalition) -> f64 {
+        if s.is_empty() {
+            return 0.0;
+        }
+        coalition_unit_hash(s, self.seed)
+    }
+}
+
+/// Wrapper that adds deterministic per-coalition noise to a base utility,
+/// simulating the stochasticity of FL training while remaining a function
+/// of the coalition (so caching stays sound).
+#[derive(Clone, Debug)]
+pub struct NoisyUtility<U> {
+    pub inner: U,
+    pub amplitude: f64,
+    pub seed: u64,
+}
+
+impl<U: Utility> NoisyUtility<U> {
+    pub fn new(inner: U, amplitude: f64, seed: u64) -> Self {
+        assert!(amplitude >= 0.0);
+        NoisyUtility {
+            inner,
+            amplitude,
+            seed,
+        }
+    }
+}
+
+impl<U: Utility> Utility for NoisyUtility<U> {
+    fn n_clients(&self) -> usize {
+        self.inner.n_clients()
+    }
+    fn eval(&self, s: Coalition) -> f64 {
+        let noise = (coalition_unit_hash(s, self.seed) - 0.5) * 2.0 * self.amplitude;
+        self.inner.eval(s) + noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalition::all_subsets;
+
+    #[test]
+    fn table_utility_matches_paper_example() {
+        let u = TableUtility::paper_table1();
+        assert_eq!(u.eval(Coalition::empty()), 0.10);
+        assert_eq!(u.eval(Coalition::from_members([0])), 0.50);
+        assert_eq!(u.eval(Coalition::from_members([0, 1])), 0.80);
+        assert_eq!(u.eval(Coalition::full(3)), 0.96);
+        assert_eq!(u.eval_full(), 0.96);
+    }
+
+    #[test]
+    fn additive_utility() {
+        let u = AdditiveUtility::new(0.5, vec![0.1, 0.2, 0.3]);
+        assert_eq!(u.eval(Coalition::empty()), 0.5);
+        assert!((u.eval(Coalition::full(3)) - 1.1).abs() < 1e-12);
+        assert!((u.eval(Coalition::from_members([0, 2])) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_utility_is_monotone_with_decaying_marginals() {
+        let u = SaturatingUtility::uniform(8, 0.1, 0.85, 0.5);
+        let mut prev = u.eval(Coalition::empty());
+        let mut prev_marginal = f64::INFINITY;
+        for k in 1..=8usize {
+            let s = Coalition::from_members(0..k);
+            let v = u.eval(s);
+            let marginal = v - prev;
+            assert!(marginal > 0.0, "monotone");
+            assert!(marginal < prev_marginal, "concave (decaying marginals)");
+            prev = v;
+            prev_marginal = marginal;
+        }
+    }
+
+    #[test]
+    fn weighted_majority_jumps() {
+        let u = WeightedMajorityUtility {
+            weights: vec![3.0, 2.0, 1.0],
+            quota: 3.5,
+        };
+        assert_eq!(u.eval(Coalition::from_members([0])), 0.0);
+        assert_eq!(u.eval(Coalition::from_members([0, 2])), 1.0);
+        assert_eq!(u.eval(Coalition::from_members([1, 2])), 0.0);
+        assert_eq!(u.eval(Coalition::full(3)), 1.0);
+    }
+
+    #[test]
+    fn hash_utility_is_deterministic_and_spread() {
+        let u = HashUtility { n: 10, seed: 42 };
+        let a = u.eval(Coalition::from_members([1, 5]));
+        let b = u.eval(Coalition::from_members([1, 5]));
+        assert_eq!(a, b);
+        // Different seeds give different functions.
+        let u2 = HashUtility { n: 10, seed: 43 };
+        assert_ne!(a, u2.eval(Coalition::from_members([1, 5])));
+        // Values stay in [0, 1).
+        for s in all_subsets(10) {
+            let v = u.eval(s);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cached_utility_counts_distinct_evaluations() {
+        let u = CachedUtility::new(TableUtility::paper_table1());
+        let s = Coalition::from_members([0, 1]);
+        let v1 = u.eval(s);
+        let v2 = u.eval(s);
+        assert_eq!(v1, v2);
+        let stats = u.stats();
+        assert_eq!(stats.evaluations, 1);
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(u.cached_len(), 1);
+        assert!(u.is_cached(s));
+        assert!(!u.is_cached(Coalition::empty()));
+        u.reset_stats();
+        assert_eq!(u.stats().evaluations, 0);
+        assert_eq!(u.cached_len(), 1, "reset_stats keeps the memo table");
+        u.clear();
+        assert_eq!(u.cached_len(), 0);
+    }
+
+    #[test]
+    fn noisy_utility_bounded_and_deterministic() {
+        let base = AdditiveUtility::new(0.0, vec![1.0; 6]);
+        let u = NoisyUtility::new(base, 0.05, 7);
+        for s in all_subsets(6) {
+            let v = u.eval(s);
+            let clean = s.size() as f64;
+            assert!((v - clean).abs() <= 0.05 + 1e-12);
+            assert_eq!(v, u.eval(s));
+        }
+    }
+
+    #[test]
+    fn utility_trait_object_via_reference() {
+        fn takes_util(u: &dyn Utility) -> f64 {
+            u.eval(Coalition::singleton(0))
+        }
+        let t = TableUtility::paper_table1();
+        assert_eq!(takes_util(&t), 0.50);
+        let r = &t;
+        assert_eq!(r.eval_full(), 0.96);
+    }
+}

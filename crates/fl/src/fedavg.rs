@@ -1,0 +1,394 @@
+//! The FedAvg training loop (Def. 1) over an arbitrary coalition of
+//! clients, with optional recording of the per-round per-client updates
+//! that the gradient-based baselines consume.
+//!
+//! The paper's implementation simulates data providers as separate
+//! processes speaking gRPC; the transport does not affect valuation, so
+//! clients here run in-process with the same message flow: broadcast
+//! global parameters → local SGD → upload update → weighted aggregation
+//! (substitution documented in DESIGN.md §2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fedval_core::coalition::Coalition;
+use fedval_data::Dataset;
+use fedval_nn::Network;
+
+use crate::config::{init_seed, local_seed, FedAvgConfig, FlAlgorithm};
+use crate::history::TrainingHistory;
+use crate::model::ModelSpec;
+
+/// Train an FL model on the datasets of `coalition` with FedAvg.
+///
+/// Clients with empty datasets are skipped (they cannot train); a coalition
+/// with no data returns the initialised model, whose utility serves as
+/// `U(M_∅)`.
+pub fn train_coalition(
+    spec: &ModelSpec,
+    clients: &[Dataset],
+    input: usize,
+    classes: usize,
+    coalition: Coalition,
+    cfg: &FedAvgConfig,
+) -> Network {
+    run_fedavg(spec, clients, input, classes, coalition, cfg, None)
+}
+
+/// Train the full-coalition FL model while recording the training history
+/// needed by OR, λ-MR, GTG-Shapley and DIG-FL.
+pub fn train_with_history(
+    spec: &ModelSpec,
+    clients: &[Dataset],
+    input: usize,
+    classes: usize,
+    cfg: &FedAvgConfig,
+) -> (Network, TrainingHistory) {
+    let n = clients.len();
+    let full = Coalition::full(n);
+    let mut history = TrainingHistory {
+        init_params: Vec::new(),
+        updates: Vec::new(),
+        globals: Vec::new(),
+        client_sizes: clients.iter().map(|c| c.n_samples()).collect(),
+    };
+    let net = run_fedavg(spec, clients, input, classes, full, cfg, Some(&mut history));
+    (net, history)
+}
+
+fn run_fedavg(
+    spec: &ModelSpec,
+    clients: &[Dataset],
+    input: usize,
+    classes: usize,
+    coalition: Coalition,
+    cfg: &FedAvgConfig,
+    mut history: Option<&mut TrainingHistory>,
+) -> Network {
+    assert!(coalition.is_subset_of(Coalition::full(clients.len())));
+    // (i) Acts at server, first iteration: initialise the global model.
+    // The initialisation is shared across coalitions (same server, same
+    // seed) so that U(∅) is a single well-defined quantity.
+    let mut global = spec.build(input, classes, init_seed(cfg.seed));
+    let members: Vec<usize> = coalition
+        .members()
+        .filter(|&i| !clients[i].is_empty())
+        .collect();
+    if let Some(h) = history.as_deref_mut() {
+        h.init_params = global.params();
+    }
+    if members.is_empty() {
+        return global;
+    }
+    assert!(
+        cfg.participation > 0.0 && cfg.participation <= 1.0,
+        "participation must be in (0, 1]"
+    );
+    let mut aggregate = vec![0.0f32; global.param_count()];
+
+    for round in 0..cfg.rounds {
+        // Partial participation: the server samples a fraction of the
+        // coalition's clients each round (all of them at 1.0, the paper's
+        // cross-silo setting). Seeded by (seed, round) only, so the same
+        // round uses consistent sub-sampling across coalitions.
+        let participants: Vec<usize> = if cfg.participation >= 1.0 {
+            members.clone()
+        } else {
+            let k = ((members.len() as f32 * cfg.participation).ceil() as usize)
+                .clamp(1, members.len());
+            let mut rng = StdRng::seed_from_u64(local_seed(cfg.seed, round, usize::MAX - 1));
+            let mut pool = members.clone();
+            for j in 0..k {
+                let pick = rand::Rng::random_range(&mut rng, j..pool.len());
+                pool.swap(j, pick);
+            }
+            pool.truncate(k);
+            pool
+        };
+        let total: usize = participants.iter().map(|&i| clients[i].n_samples()).sum();
+        let base = global.params();
+        aggregate.fill(0.0);
+        let mut round_updates: Vec<Option<Vec<f32>>> = if history.is_some() {
+            vec![None; clients.len()]
+        } else {
+            Vec::new()
+        };
+        for &i in &participants {
+            // (ii) Acts at clients: receive the global model, train on the
+            // local dataset, upload the update.
+            global.set_params(&base);
+            let mut rng = StdRng::seed_from_u64(local_seed(cfg.seed, round, i));
+            match cfg.algorithm {
+                FlAlgorithm::FedAvg => {
+                    global.train_epochs(
+                        &clients[i],
+                        cfg.local_epochs,
+                        cfg.batch_size,
+                        cfg.lr,
+                        &mut rng,
+                    );
+                }
+                FlAlgorithm::FedProx { mu } => {
+                    for _ in 0..cfg.local_epochs {
+                        global.train_epochs(&clients[i], 1, cfg.batch_size, cfg.lr, &mut rng);
+                        // Proximal pull towards the round's global model.
+                        let mut p = global.params();
+                        for (w, g) in p.iter_mut().zip(&base) {
+                            *w -= cfg.lr * mu * (*w - g);
+                        }
+                        global.set_params(&p);
+                    }
+                }
+            }
+            let local = global.params();
+            let w = clients[i].n_samples() as f32 / total as f32;
+            let mut delta = local;
+            for (d, b) in delta.iter_mut().zip(&base) {
+                *d -= b;
+            }
+            for (a, d) in aggregate.iter_mut().zip(&delta) {
+                *a += w * d;
+            }
+            if history.is_some() {
+                round_updates[i] = Some(delta);
+            }
+        }
+        // (i) Acts at server: new global model by weighted aggregation of
+        // the local models (parameter averaging = base + η_s·Σ wᵢΔᵢ).
+        let mut next = base;
+        for (p, a) in next.iter_mut().zip(&aggregate) {
+            *p += cfg.server_lr * a;
+        }
+        global.set_params(&next);
+        if let Some(h) = history.as_deref_mut() {
+            h.updates.push(round_updates);
+            h.globals.push(next);
+        }
+    }
+    global
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_data::{MnistLike, SyntheticSetup};
+
+    fn small_problem() -> (Vec<Dataset>, Dataset) {
+        let gen = MnistLike::new(5);
+        let (train, test) = gen.generate_split(240, 120, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let clients = SyntheticSetup::SameSizeSameDist.partition(&train, 4, &mut rng);
+        (clients, test)
+    }
+
+    #[test]
+    fn federated_training_improves_over_init() {
+        let (clients, test) = small_problem();
+        let cfg = FedAvgConfig::default();
+        let mut init = ModelSpec::default_mlp().build(64, 10, init_seed(cfg.seed));
+        let base_acc = init.accuracy(&test);
+        let mut net = train_coalition(
+            &ModelSpec::default_mlp(),
+            &clients,
+            64,
+            10,
+            Coalition::full(4),
+            &cfg,
+        );
+        let acc = net.accuracy(&test);
+        assert!(
+            acc > base_acc + 0.2,
+            "FedAvg accuracy {acc} vs init {base_acc}"
+        );
+    }
+
+    #[test]
+    fn more_clients_help() {
+        // Monotonicity in expectation — the core premise of the utility
+        // structure (Sec. I, Limitation 2).
+        let (clients, test) = small_problem();
+        let cfg = FedAvgConfig::default();
+        let spec = ModelSpec::default_mlp();
+        let mut one = train_coalition(&spec, &clients, 64, 10, Coalition::singleton(0), &cfg);
+        let mut all = train_coalition(&spec, &clients, 64, 10, Coalition::full(4), &cfg);
+        let acc1 = one.accuracy(&test);
+        let acc4 = all.accuracy(&test);
+        assert!(acc4 >= acc1 - 0.05, "4 clients {acc4} vs 1 client {acc1}");
+    }
+
+    #[test]
+    fn empty_coalition_returns_initial_model() {
+        let (clients, _) = small_problem();
+        let cfg = FedAvgConfig::default();
+        let spec = ModelSpec::default_mlp();
+        let net = train_coalition(&spec, &clients, 64, 10, Coalition::empty(), &cfg);
+        let init = spec.build(64, 10, init_seed(cfg.seed));
+        assert_eq!(net.params(), init.params());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_coalition() {
+        let (clients, _) = small_problem();
+        let cfg = FedAvgConfig::default();
+        let spec = ModelSpec::default_mlp();
+        let c = Coalition::from_members([1, 3]);
+        let a = train_coalition(&spec, &clients, 64, 10, c, &cfg).params();
+        let b = train_coalition(&spec, &clients, 64, 10, c, &cfg).params();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn history_replays_to_final_model() {
+        // Reconstructing the *full* coalition from history must reproduce
+        // the recorded run exactly (the OR identity on S = N).
+        let (clients, _) = small_problem();
+        let cfg = FedAvgConfig::default();
+        let spec = ModelSpec::default_mlp();
+        let (net, history) = train_with_history(&spec, &clients, 64, 10, &cfg);
+        assert_eq!(history.rounds(), cfg.rounds);
+        let reconstructed = history.reconstruct(Coalition::full(4));
+        let actual = net.params();
+        let max_diff = reconstructed
+            .iter()
+            .zip(&actual)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-4, "max diff {max_diff}");
+    }
+
+    #[test]
+    fn history_skips_empty_clients() {
+        let (mut clients, _) = small_problem();
+        clients[2] = Dataset::empty(64, 10);
+        let cfg = FedAvgConfig::default();
+        let spec = ModelSpec::default_mlp();
+        let (_, history) = train_with_history(&spec, &clients, 64, 10, &cfg);
+        assert!(history.updates[0][2].is_none());
+        assert!(history.updates[0][0].is_some());
+        assert_eq!(history.client_sizes[2], 0);
+    }
+}
+
+#[cfg(test)]
+mod algorithm_tests {
+    use super::*;
+    use crate::config::FlAlgorithm;
+    use fedval_data::{MnistLike, SyntheticSetup};
+
+    fn heterogeneous_problem() -> (Vec<Dataset>, Dataset) {
+        let gen = MnistLike::new(41);
+        let (train, test) = gen.generate_split(320, 200, 42);
+        let mut rng = StdRng::seed_from_u64(43);
+        // Label-skewed: the setting FedProx is designed for.
+        let clients = SyntheticSetup::SameSizeDiffDist {
+            majority_fraction: 0.6,
+        }
+        .partition(&train, 4, &mut rng);
+        (clients, test)
+    }
+
+    #[test]
+    fn fedprox_trains_and_differs_from_fedavg() {
+        let (clients, test) = heterogeneous_problem();
+        let spec = ModelSpec::default_mlp();
+        let avg_cfg = FedAvgConfig {
+            rounds: 4,
+            local_epochs: 2,
+            lr: 0.2,
+            seed: 44,
+            ..Default::default()
+        };
+        let prox_cfg = FedAvgConfig {
+            algorithm: FlAlgorithm::FedProx { mu: 0.5 },
+            ..avg_cfg
+        };
+        let full = Coalition::full(4);
+        let mut avg = train_coalition(&spec, &clients, 64, 10, full, &avg_cfg);
+        let mut prox = train_coalition(&spec, &clients, 64, 10, full, &prox_cfg);
+        assert_ne!(avg.params(), prox.params());
+        // Both must actually learn.
+        assert!(avg.accuracy(&test) > 0.4);
+        assert!(prox.accuracy(&test) > 0.4);
+    }
+
+    #[test]
+    fn fedprox_mu_zero_matches_fedavg() {
+        let (clients, _) = heterogeneous_problem();
+        let spec = ModelSpec::default_mlp();
+        // local_epochs = 1 so both code paths perform exactly one
+        // train_epochs call per round (with more epochs the data order
+        // legitimately differs: FedProx reshuffles from the identity
+        // permutation each epoch).
+        let base = FedAvgConfig {
+            rounds: 2,
+            local_epochs: 1,
+            lr: 0.2,
+            seed: 45,
+            ..Default::default()
+        };
+        let prox0 = FedAvgConfig {
+            algorithm: FlAlgorithm::FedProx { mu: 0.0 },
+            ..base
+        };
+        let full = Coalition::full(4);
+        let a = train_coalition(&spec, &clients, 64, 10, full, &base).params();
+        let b = train_coalition(&spec, &clients, 64, 10, full, &prox0).params();
+        assert_eq!(a, b, "μ = 0 FedProx must reduce to FedAvg exactly");
+    }
+
+    #[test]
+    fn partial_participation_uses_subset_each_round() {
+        let (clients, _) = heterogeneous_problem();
+        let spec = ModelSpec::default_mlp();
+        let cfg = FedAvgConfig {
+            rounds: 3,
+            local_epochs: 1,
+            participation: 0.5,
+            seed: 46,
+            ..Default::default()
+        };
+        let (_, history) = train_with_history(&spec, &clients, 64, 10, &cfg);
+        for round in &history.updates {
+            let active = round.iter().filter(|u| u.is_some()).count();
+            assert_eq!(active, 2, "ceil(4 × 0.5) = 2 participants per round");
+        }
+        // Different rounds should not always pick the same pair.
+        let picks: std::collections::HashSet<Vec<usize>> = history
+            .updates
+            .iter()
+            .map(|round| {
+                (0..4).filter(|&i| round[i].is_some()).collect::<Vec<_>>()
+            })
+            .collect();
+        assert!(picks.len() > 1, "participation should vary across rounds");
+    }
+
+    #[test]
+    fn server_lr_scales_the_update() {
+        let (clients, _) = heterogeneous_problem();
+        let spec = ModelSpec::default_mlp();
+        let base = FedAvgConfig {
+            rounds: 1,
+            local_epochs: 1,
+            lr: 0.2,
+            seed: 47,
+            ..Default::default()
+        };
+        let half = FedAvgConfig {
+            server_lr: 0.5,
+            ..base
+        };
+        let full = Coalition::full(4);
+        let init = spec.build(64, 10, init_seed(47)).params();
+        let a = train_coalition(&spec, &clients, 64, 10, full, &base).params();
+        let b = train_coalition(&spec, &clients, 64, 10, full, &half).params();
+        for ((i, pa), pb) in init.iter().zip(&a).zip(&b) {
+            let full_step = pa - i;
+            let half_step = pb - i;
+            assert!(
+                (half_step - 0.5 * full_step).abs() < 1e-5,
+                "server_lr must scale the aggregated update"
+            );
+        }
+    }
+}

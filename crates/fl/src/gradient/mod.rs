@@ -1,0 +1,114 @@
+//! Gradient-based valuation baselines (Sec. V-A, third category):
+//! **OR**, **λ-MR**, **GTG-Shapley** and **DIG-FL**.
+//!
+//! All four avoid retraining FL models per coalition: they reuse the
+//! per-round per-client updates recorded in a [`TrainingHistory`] from the
+//! single full-coalition run, reconstructing coalition models by replaying
+//! those updates. This makes them fast but — as the paper's experiments
+//! show — without accuracy guarantees, since a coalition's *actual*
+//! training trajectory differs from the replayed one.
+
+mod digfl;
+mod gtg;
+mod lambda_mr;
+mod or;
+
+pub use digfl::{dig_fl, dig_fl_evaluations, dig_fl_free_riders, DigFlConfig};
+pub use gtg::{gtg_shapley, GtgConfig};
+pub use lambda_mr::{lambda_mr, LambdaMrConfig};
+pub use or::or_valuation;
+
+use parking_lot::Mutex;
+
+use fedval_core::coalition::Coalition;
+use fedval_core::utility::Utility;
+use fedval_data::Dataset;
+use fedval_nn::Network;
+
+use crate::history::TrainingHistory;
+
+/// Shared evaluator: loads parameter vectors into a reusable network and
+/// measures test accuracy. The network is behind a mutex because
+/// [`Utility`] is evaluated through `&self` (and may be driven from the
+/// parallel bench harness).
+pub(crate) struct ParamEvaluator {
+    net: Mutex<Network>,
+    test: Dataset,
+}
+
+impl ParamEvaluator {
+    pub(crate) fn new(net: Network, test: Dataset) -> Self {
+        ParamEvaluator {
+            net: Mutex::new(net),
+            test,
+        }
+    }
+
+    pub(crate) fn accuracy_of(&self, params: &[f32]) -> f64 {
+        let mut net = self.net.lock();
+        net.set_params(params);
+        net.accuracy(&self.test)
+    }
+}
+
+/// Utility over *OR-reconstructed* models: `U(S)` loads
+/// `TrainingHistory::reconstruct(S)` and measures test accuracy. No
+/// training happens — this is the entire trick of the OR baseline.
+pub struct ReconstructedUtility<'a> {
+    history: &'a TrainingHistory,
+    evaluator: ParamEvaluator,
+}
+
+impl<'a> ReconstructedUtility<'a> {
+    pub fn new(history: &'a TrainingHistory, net: Network, test: Dataset) -> Self {
+        ReconstructedUtility {
+            history,
+            evaluator: ParamEvaluator::new(net, test),
+        }
+    }
+}
+
+impl Utility for ReconstructedUtility<'_> {
+    fn n_clients(&self) -> usize {
+        self.history.n_clients()
+    }
+
+    fn eval(&self, s: Coalition) -> f64 {
+        self.evaluator.accuracy_of(&self.history.reconstruct(s))
+    }
+}
+
+/// Utility over *round-`t`* reconstructions: `U_t(S)` applies only round
+/// `t`'s updates of the coalition on top of the actual global model
+/// entering round `t`. Used by λ-MR and GTG-Shapley.
+pub struct RoundUtility<'a> {
+    history: &'a TrainingHistory,
+    round: usize,
+    evaluator: &'a ParamEvaluator,
+}
+
+impl<'a> RoundUtility<'a> {
+    pub(crate) fn new(
+        history: &'a TrainingHistory,
+        round: usize,
+        evaluator: &'a ParamEvaluator,
+    ) -> Self {
+        assert!(round < history.rounds());
+        RoundUtility {
+            history,
+            round,
+            evaluator,
+        }
+    }
+}
+
+impl Utility for RoundUtility<'_> {
+    fn n_clients(&self) -> usize {
+        self.history.n_clients()
+    }
+
+    fn eval(&self, s: Coalition) -> f64 {
+        self.evaluator
+            .accuracy_of(&self.history.reconstruct_round(self.round, s))
+    }
+}

@@ -1,0 +1,33 @@
+//! # fedval-fl
+//!
+//! The federated-learning engine of the IPSS reproduction:
+//!
+//! * [`fedavg`] — the FedAvg loop (Def. 1) over arbitrary coalitions, with
+//!   deterministic per-coalition seeding and optional training-history
+//!   recording;
+//! * [`utility`] — [`utility::FlUtility`] (FedAvg + neural models) and
+//!   [`utility::GbdtUtility`] (pooled XGBoost-style training), the real
+//!   `U(M_S)` behind every experiment;
+//! * [`history`] — per-round per-client updates and model reconstruction;
+//! * [`gradient`] — the gradient-based baselines of Sec. V-A: OR, λ-MR,
+//!   GTG-Shapley and DIG-FL.
+//!
+//! The paper's multi-process gRPC simulation is replaced by in-process
+//! clients with the same message flow (DESIGN.md §2).
+
+pub mod config;
+pub mod fedavg;
+pub mod gradient;
+pub mod history;
+pub mod model;
+pub mod utility;
+
+pub use config::{FedAvgConfig, FlAlgorithm};
+pub use fedavg::{train_coalition, train_with_history};
+pub use gradient::{
+    dig_fl, gtg_shapley, lambda_mr, or_valuation, DigFlConfig, GtgConfig, LambdaMrConfig,
+    ReconstructedUtility,
+};
+pub use history::TrainingHistory;
+pub use model::ModelSpec;
+pub use utility::{FlUtility, GbdtUtility};

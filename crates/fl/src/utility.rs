@@ -1,0 +1,196 @@
+//! Coalition utility functions backed by real model training — the
+//! `U(M_S)` of Def. 2, with `U` = test accuracy.
+
+use fedval_core::coalition::Coalition;
+use fedval_core::utility::Utility;
+use fedval_data::Dataset;
+use fedval_gbdt::{Gbdt, GbdtParams};
+
+use crate::config::FedAvgConfig;
+use crate::fedavg::train_coalition;
+use crate::model::ModelSpec;
+
+/// FedAvg-trained neural utility: `U(S)` trains the [`ModelSpec`] on the
+/// coalition's datasets with FedAvg and returns test accuracy.
+///
+/// Wrap in [`fedval_core::utility::CachedUtility`] so each coalition is
+/// trained exactly once (the paper's `τ` accounting).
+pub struct FlUtility {
+    clients: Vec<Dataset>,
+    test: Dataset,
+    spec: ModelSpec,
+    cfg: FedAvgConfig,
+}
+
+impl FlUtility {
+    pub fn new(clients: Vec<Dataset>, test: Dataset, spec: ModelSpec, cfg: FedAvgConfig) -> Self {
+        assert!(!clients.is_empty());
+        for c in &clients {
+            assert_eq!(c.n_features(), test.n_features(), "schema mismatch");
+            assert_eq!(c.n_classes(), test.n_classes(), "schema mismatch");
+        }
+        FlUtility {
+            clients,
+            test,
+            spec,
+            cfg,
+        }
+    }
+
+    pub fn clients(&self) -> &[Dataset] {
+        &self.clients
+    }
+
+    pub fn test_set(&self) -> &Dataset {
+        &self.test
+    }
+
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    pub fn config(&self) -> &FedAvgConfig {
+        &self.cfg
+    }
+}
+
+impl Utility for FlUtility {
+    fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn eval(&self, s: Coalition) -> f64 {
+        let mut net = train_coalition(
+            &self.spec,
+            &self.clients,
+            self.test.n_features(),
+            self.test.n_classes(),
+            s,
+            &self.cfg,
+        );
+        net.accuracy(&self.test)
+    }
+}
+
+/// Pooled-training GBDT utility: `U(S)` trains a fresh GBDT on
+/// `D_S = ∪_{i∈S} D_i` and returns test accuracy.
+///
+/// Cross-silo federated GBDT (vertical/horizontal tree protocols) produces
+/// the same ensemble a centralized training over the pooled data would,
+/// up to protocol noise; pooled training is therefore the faithful
+/// simulation of `U(M_S)` for the XGB rows of Table V (DESIGN.md §2).
+pub struct GbdtUtility {
+    clients: Vec<Dataset>,
+    test: Dataset,
+    params: GbdtParams,
+}
+
+impl GbdtUtility {
+    pub fn new(clients: Vec<Dataset>, test: Dataset, params: GbdtParams) -> Self {
+        assert!(!clients.is_empty());
+        assert_eq!(test.n_classes(), 2, "GBDT utility is binary");
+        GbdtUtility {
+            clients,
+            test,
+            params,
+        }
+    }
+
+    pub fn clients(&self) -> &[Dataset] {
+        &self.clients
+    }
+
+    pub fn test_set(&self) -> &Dataset {
+        &self.test
+    }
+}
+
+impl Utility for GbdtUtility {
+    fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn eval(&self, s: Coalition) -> f64 {
+        let parts: Vec<&Dataset> = s.members().map(|i| &self.clients[i]).collect();
+        let pooled = match Dataset::union(parts.iter().copied()) {
+            Some(ds) if !ds.is_empty() => ds,
+            // No data: constant model at the positive rate prior.
+            _ => {
+                let model = Gbdt::train(
+                    &Dataset::empty(self.test.n_features(), 2),
+                    &self.params,
+                );
+                return model.accuracy(&self.test);
+            }
+        };
+        let model = Gbdt::train(&pooled, &self.params);
+        model.accuracy(&self.test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_core::utility::CachedUtility;
+    use fedval_data::{AdultLike, MnistLike, SyntheticSetup};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp_utility(n_clients: usize) -> FlUtility {
+        let gen = MnistLike::new(1);
+        let (train, test) = gen.generate_split(60 * n_clients, 120, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let clients = SyntheticSetup::SameSizeSameDist.partition(&train, n_clients, &mut rng);
+        FlUtility::new(clients, test, ModelSpec::default_mlp(), FedAvgConfig::default())
+    }
+
+    #[test]
+    fn fl_utility_monotone_on_average() {
+        let u = mlp_utility(4);
+        let empty = u.eval(Coalition::empty());
+        let full = u.eval(Coalition::full(4));
+        assert!(full > empty + 0.2, "U(∅)={empty}, U(N)={full}");
+        // Utility is within [0, 1] (accuracy).
+        assert!((0.0..=1.0).contains(&empty) && (0.0..=1.0).contains(&full));
+    }
+
+    #[test]
+    fn fl_utility_deterministic_and_cacheable() {
+        let u = CachedUtility::new(mlp_utility(3));
+        let s = Coalition::from_members([0, 2]);
+        let a = u.eval(s);
+        let b = u.eval(s);
+        assert_eq!(a, b);
+        assert_eq!(u.stats().evaluations, 1);
+        // Direct (uncached) evaluation agrees.
+        assert_eq!(u.inner().eval(s), a);
+    }
+
+    #[test]
+    fn gbdt_utility_learns_adult() {
+        let gen = AdultLike::new(9);
+        let fed = gen.generate_federated(3, 900, 300, 4);
+        let u = GbdtUtility::new(
+            fed.clients,
+            fed.test,
+            GbdtParams {
+                n_trees: 10,
+                ..Default::default()
+            },
+        );
+        let empty = u.eval(Coalition::empty());
+        let full = u.eval(Coalition::full(3));
+        assert!(full > empty, "U(∅)={empty}, U(N)={full}");
+        assert!(full > 0.6);
+    }
+
+    #[test]
+    fn gbdt_empty_coalition_is_prior_model() {
+        let gen = AdultLike::new(10);
+        let fed = gen.generate_federated(3, 300, 200, 5);
+        let u = GbdtUtility::new(fed.clients, fed.test, GbdtParams::default());
+        let empty_acc = u.eval(Coalition::empty());
+        // A constant prediction gets the majority-class rate at best.
+        assert!((0.0..=1.0).contains(&empty_acc));
+    }
+}

@@ -1,0 +1,24 @@
+//! # fedval-nn
+//!
+//! Minimal neural-network substrate with manual backpropagation, built for
+//! the FL experiments of the IPSS paper. The paper's implementation uses
+//! TensorFlow 2.4; mature Rust DL stacks (candle/burn) are not yet suited
+//! to these FL experiments, so this crate provides exactly what the
+//! experiments need (substitution rationale in DESIGN.md §2):
+//!
+//! * [`layers`] — `Dense`, `ReLU`, `Conv2d`, `MaxPool2` with hand-written
+//!   backward passes (finite-difference-checked in tests);
+//! * [`network::Network`] — sequential container with SGD training,
+//!   accuracy/loss evaluation and **flat parameter (de)serialisation**, the
+//!   representation FedAvg aggregates and the gradient-based valuation
+//!   baselines reconstruct models from;
+//! * [`models`] — the experiment model families: `mlp`, `cnn`, `linear`.
+
+pub mod layers;
+pub mod linalg;
+pub mod loss;
+pub mod models;
+pub mod network;
+
+pub use models::{cnn, default_mlp, linear, mlp};
+pub use network::Network;

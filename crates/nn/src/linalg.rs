@@ -1,0 +1,148 @@
+//! Minimal dense linear algebra (row-major, no external BLAS).
+//!
+//! The FL experiments use small models (thousands of parameters), so
+//! straightforward loop nests with `#[inline]` helpers are both simple and
+//! fast enough; the dominant cost in the paper's accounting is the *number*
+//! of coalition trainings `τ`, not the per-training FLOPs.
+
+/// `out[m×n] = a[m×k] · b[k×n]` (row-major). `out` is overwritten.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out[m×n] = a[m×k] · bᵀ` where `b` is `n×k` (row-major).
+pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            out[i * n + j] = dot(a_row, b_row);
+        }
+    }
+}
+
+/// `out[k×n] += aᵀ · b` where `a` is `m×k` and `b` is `m×n` (row-major).
+/// Accumulates into `out` (gradient accumulation).
+pub fn matmul_at_b_accum(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), m * n);
+    assert_eq!(out.len(), k * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha·x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f32]) -> f32 {
+    dot(x, x).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        // 2×2 identity times arbitrary.
+        let i2 = [1.0, 0.0, 0.0, 1.0];
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let mut out = [0.0; 4];
+        matmul(&i2, &a, 2, 2, 2, &mut out);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0; 4];
+        matmul(&a, &b, 2, 2, 2, &mut out);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // (1×3)·(3×2)
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut out = [0.0; 2];
+        matmul(&a, &b, 1, 3, 2, &mut out);
+        assert_eq!(out, [14.0, 32.0]);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        // a: 2×3, b: 2×3 → a·bᵀ : 2×2.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let mut out = [0.0; 4];
+        matmul_a_bt(&a, &b, 2, 3, 2, &mut out);
+        assert_eq!(out, [4.0, 2.0, 10.0, 5.0]);
+    }
+
+    #[test]
+    fn at_b_accumulates() {
+        // a: 2×2, b: 2×2; out starts at ones.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 1.0, 1.0, 1.0];
+        let mut out = [1.0; 4];
+        matmul_at_b_accum(&a, &b, 2, 2, 2, &mut out);
+        // aᵀ·b = [[4,4],[6,6]]; plus ones.
+        assert_eq!(out, [5.0, 5.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Theorem 2: under FL linear regression, the MC-SV scheme has strictly
+//! lower variance than the CC-SV scheme inside the stratified framework
+//! (Alg. 1) — both analytic formulas (Eqs. 9–11) and Monte-Carlo
+//! estimation helpers used by the Fig. 10 bench.
+//!
+//! The variance in Theorem 2 is over the randomness of *training* (the
+//! per-sample errors `e_j` of Eq. 8), with the same `e_j` shared between
+//! the two utility evaluations of a pair. MC pairs `(S∪{i}, S)` cancel the
+//! shared samples, leaving only `Var[Σ_{j∈Dᵢ} e_j]`; CC pairs
+//! `(S∪{i}, N\(S∪{i}))` sum *disjoint* samples and keep both sides'
+//! variance — the source of the gap (Eq. 11).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fedval_core::coalition::Coalition;
+use fedval_core::metrics::variance;
+use fedval_core::stratified::{stratified_sampling_values, Scheme, StratifiedConfig};
+use fedval_core::utility::Utility;
+use fedval_data::rand_ext::standard_normal;
+
+/// Analytic variance of the MC-SV estimator for client `i` (Eq. 9) under
+/// the linear model: each stratum contributes `|D_i|²σ²/(n²·m_{i,k}²)` per
+/// sampled pair, i.e. `Σ_k |D_i|²σ²/(n²·m_k)` with `m_k` pairs per stratum.
+pub fn analytic_var_mc(
+    n: usize,
+    sizes: &[usize],
+    sigma2: f64,
+    m_per_stratum: usize,
+    i: usize,
+) -> f64 {
+    assert_eq!(sizes.len(), n);
+    assert!(m_per_stratum >= 1);
+    let di2 = (sizes[i] * sizes[i]) as f64;
+    (1..=n)
+        .map(|_k| di2 * sigma2 / ((n * n * m_per_stratum) as f64))
+        .sum()
+}
+
+/// Analytic variance of the CC-SV estimator for client `i` (Eq. 10):
+/// each stratum-`k` term carries `((|D_S|+|D_i|)² + (|D_N|−|D_S|−|D_i|)²)σ²`
+/// with `|D_S∪{i}| = k·t` for equal client sizes `t`.
+pub fn analytic_var_cc(
+    n: usize,
+    sizes: &[usize],
+    sigma2: f64,
+    m_per_stratum: usize,
+    i: usize,
+) -> f64 {
+    assert_eq!(sizes.len(), n);
+    assert!(m_per_stratum >= 1);
+    let total: usize = sizes.iter().sum();
+    let t = sizes[i];
+    (1..=n)
+        .map(|k| {
+            let side = (k * t) as f64;
+            let other = total as f64 - side;
+            (side * side + other * other) * sigma2 / ((n * n * m_per_stratum) as f64)
+        })
+        .sum()
+}
+
+/// The Theorem 2 utility model (Eq. 8): `U(M_S) = −Σ_{j∈D_S} e_j`, where
+/// the per-sample training errors `e_j` are random draws shared by every
+/// coalition containing sample `j`. One instance = one training
+/// realisation; redraw per run to estimate variance over training noise.
+#[derive(Clone, Debug)]
+pub struct TrainingErrorUtility {
+    /// Per-client error sums `Σ_{j∈Dᵢ} e_j`.
+    client_error_sums: Vec<f64>,
+}
+
+impl TrainingErrorUtility {
+    /// Draw a fresh realisation: `n` clients with `sizes[i]` samples each,
+    /// `e_j = |N(mu_e, sigma²)|` (absolute errors, as in mean absolute
+    /// error).
+    pub fn draw(sizes: &[usize], mu_e: f64, sigma: f64, rng: &mut StdRng) -> Self {
+        let client_error_sums = sizes
+            .iter()
+            .map(|&t| {
+                (0..t)
+                    .map(|_| (mu_e + sigma * standard_normal(rng)).abs())
+                    .sum()
+            })
+            .collect();
+        TrainingErrorUtility { client_error_sums }
+    }
+}
+
+impl Utility for TrainingErrorUtility {
+    fn n_clients(&self) -> usize {
+        self.client_error_sums.len()
+    }
+
+    fn eval(&self, s: Coalition) -> f64 {
+        -s.members().map(|i| self.client_error_sums[i]).sum::<f64>()
+    }
+}
+
+/// Monte-Carlo variance of the Alg. 1 estimator over *training noise*:
+/// each run draws a fresh utility realisation from `factory(run)` and runs
+/// the framework once; returns the per-client variance of the estimates,
+/// averaged over clients (the quantity Fig. 10 plots against `γ`).
+pub fn estimator_variance_over_runs<U, F>(
+    factory: F,
+    n: usize,
+    scheme: Scheme,
+    gamma: usize,
+    runs: usize,
+    seed: u64,
+) -> f64
+where
+    U: Utility,
+    F: Fn(usize) -> U,
+{
+    assert!(runs >= 2);
+    let cfg = StratifiedConfig::uniform(n, gamma);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut estimates: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); n];
+    for run in 0..runs {
+        let u = factory(run);
+        assert_eq!(u.n_clients(), n);
+        let values = stratified_sampling_values(&u, scheme, &cfg, &mut rng);
+        for (per_client, v) in estimates.iter_mut().zip(values) {
+            per_client.push(v);
+        }
+    }
+    estimates.iter().map(|e| variance(e)).sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_cc_strictly_dominates_mc() {
+        // Theorem 2 / Eq. 11: Var_CC − Var_MC ≥ Σ |D_S|²σ²/(n²m²) > 0.
+        for n in [3usize, 5, 10] {
+            let sizes = vec![20usize; n];
+            for m in [1usize, 4, 16] {
+                let mc = analytic_var_mc(n, &sizes, 1.0, m, 0);
+                let cc = analytic_var_cc(n, &sizes, 1.0, m, 0);
+                assert!(
+                    cc > mc,
+                    "n={n}, m={m}: Var_CC = {cc} must exceed Var_MC = {mc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_variance_decreases_with_budget() {
+        let sizes = vec![10usize; 6];
+        let v1 = analytic_var_mc(6, &sizes, 1.0, 1, 0);
+        let v4 = analytic_var_mc(6, &sizes, 1.0, 4, 0);
+        assert!((v1 / v4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_error_utility_is_additive_and_negative() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let u = TrainingErrorUtility::draw(&[10, 20, 30], 1.0, 0.3, &mut rng);
+        let v01 = u.eval(Coalition::from_members([0, 1]));
+        let v0 = u.eval(Coalition::singleton(0));
+        let v1 = u.eval(Coalition::singleton(1));
+        assert!((v01 - (v0 + v1)).abs() < 1e-12);
+        assert!(v0 < 0.0);
+        assert_eq!(u.eval(Coalition::empty()), 0.0);
+    }
+
+    #[test]
+    fn empirical_mc_variance_below_cc_theorem2() {
+        // The Theorem 2 / Fig. 10 phenomenon: over training-noise
+        // realisations, MC-SV's estimator variance is lower than CC-SV's
+        // at the same budget, because MC pairs cancel shared samples.
+        let sizes = vec![25usize; 6];
+        let var_of = |scheme, seed| {
+            estimator_variance_over_runs(
+                |run| {
+                    let mut rng = StdRng::seed_from_u64(1000 + run as u64);
+                    TrainingErrorUtility::draw(&sizes, 1.0, 0.5, &mut rng)
+                },
+                6,
+                scheme,
+                12,
+                150,
+                seed,
+            )
+        };
+        let var_mc = var_of(Scheme::MarginalContribution, 7);
+        let var_cc = var_of(Scheme::ComplementaryContribution, 7);
+        assert!(
+            var_mc < var_cc,
+            "empirical Var_MC = {var_mc} should be below Var_CC = {var_cc}"
+        );
+    }
+}
