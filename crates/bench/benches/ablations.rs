@@ -43,8 +43,8 @@ fn ipss_unbalanced<U: Utility + ?Sized>(u: &U, gamma: usize, rng: &mut StdRng) -
     }
     // Unbalanced sampled stratum.
     if k_star < n {
-        let remaining =
-            ((gamma as u128).saturating_sub(subsets_up_to(n, k_star))).min(binom_u128(n, k_star + 1));
+        let remaining = ((gamma as u128).saturating_sub(subsets_up_to(n, k_star)))
+            .min(binom_u128(n, k_star + 1));
         let sampled = distinct_subsets_of_size(n, k_star + 1, remaining as usize, rng);
         let mut sums = vec![0.0f64; n];
         let mut counts = vec![0usize; n];
@@ -94,7 +94,9 @@ fn main() {
             .collect();
         table.row([label.to_string(), format!("{:.4}", mean(&errs))]);
     }
-    table.print(&format!("Ablation 1 — IPSS stratum-k* weighting (n={n}, γ={gamma})"));
+    table.print(&format!(
+        "Ablation 1 — IPSS stratum-k* weighting (n={n}, γ={gamma})"
+    ));
 
     // 2. Balanced vs unbalanced phase-2 sampling.
     let mut table = Table::new(["Phase-2 sampling", "Mean Error(l2)", "Worst client |err|"]);
@@ -114,7 +116,12 @@ fn main() {
             }
         }
         table.row([
-            if balanced { "balanced (Alg. 3)" } else { "uniform" }.to_string(),
+            if balanced {
+                "balanced (Alg. 3)"
+            } else {
+                "uniform"
+            }
+            .to_string(),
             format!("{:.4}", mean(&errs)),
             format!("{worst:.4}"),
         ]);
@@ -130,7 +137,11 @@ fn main() {
         let _ = u;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7C);
         let before = shared.stats().evaluations;
-        let est = extended_tmc(&shared, &TmcConfig::new(gamma).with_tolerance(tol), &mut rng);
+        let est = extended_tmc(
+            &shared,
+            &TmcConfig::new(gamma).with_tolerance(tol),
+            &mut rng,
+        );
         let after = shared.stats().evaluations;
         table.row([
             format!("{tol}"),

@@ -20,11 +20,7 @@ use rand::SeedableRng;
 fn main() {
     let seed = base_seed();
     let runs = if quick() { 60 } else { 150 };
-    let ns: Vec<usize> = if quick() {
-        vec![3, 6]
-    } else {
-        vec![3, 6, 10]
-    };
+    let ns: Vec<usize> = if quick() { vec![3, 6] } else { vec![3, 6, 10] };
     for &n in &ns {
         let gammas: Vec<usize> = {
             let full = 1usize << n;

@@ -86,11 +86,7 @@ fn main() {
                 if best.is_none_or(|(_, e)| err < e) {
                     best = Some((alg.name(), err));
                 }
-                table.row([
-                    alg.name().to_string(),
-                    fmt_secs(time),
-                    fmt_err(Some(err)),
-                ]);
+                table.row([alg.name().to_string(), fmt_secs(time), fmt_err(Some(err))]);
             }
             table.print(&format!(
                 "Fig. 6 ({}) — {} model, n = {n}, γ = {gamma}, τ̄ = {:.0} ms",

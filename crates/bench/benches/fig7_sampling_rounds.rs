@@ -51,18 +51,14 @@ fn main() {
                         let mut rng =
                             StdRng::seed_from_u64(seed ^ ((rep as u64) << 8) ^ (gamma as u64));
                         let est = match alg {
-                            Algorithm::ExtTmc => {
-                                extended_tmc(&u, &TmcConfig::new(gamma), &mut rng)
-                            }
+                            Algorithm::ExtTmc => extended_tmc(&u, &TmcConfig::new(gamma), &mut rng),
                             Algorithm::ExtGtb => {
                                 extended_gtb_values(&u, &GtbConfig::new(gamma), &mut rng)
                             }
                             Algorithm::CcShapley => {
                                 cc_shapley(&u, &CcShapConfig::new(gamma), &mut rng)
                             }
-                            Algorithm::Ipss => {
-                                ipss_values(&u, &IpssConfig::new(gamma), &mut rng)
-                            }
+                            Algorithm::Ipss => ipss_values(&u, &IpssConfig::new(gamma), &mut rng),
                             _ => unreachable!(),
                         };
                         l2_relative_error(&est, &exact)
@@ -79,8 +75,14 @@ fn main() {
             "Fig. 7 — error vs sampling rounds γ, FEMNIST-like, n = {n}, {} ({reps} reps)",
             model.name()
         ));
-        let ipss = Algorithm::SAMPLING.iter().position(|&a| a == Algorithm::Ipss).unwrap();
-        let cc = Algorithm::SAMPLING.iter().position(|&a| a == Algorithm::CcShapley).unwrap();
+        let ipss = Algorithm::SAMPLING
+            .iter()
+            .position(|&a| a == Algorithm::Ipss)
+            .unwrap();
+        let cc = Algorithm::SAMPLING
+            .iter()
+            .position(|&a| a == Algorithm::CcShapley)
+            .unwrap();
         if var_sums[ipss] > 0.0 {
             println!(
                 "Shape check: CC-Shapley error variance is {:.1}x IPSS's (paper: 7.7–50.9x)",

@@ -1,0 +1,134 @@
+//! par_speedup — tracks the wall-clock benefit of the parallel
+//! batch-evaluation engine on the workload the ROADMAP's scalability goal
+//! cares about: an exact MC-SV sweep (all `2^n` FedAvg train+evaluate
+//! cycles) over an FL-backed utility, measured once with the fan-out
+//! pinned to a single thread and once across all cores.
+//!
+//! The two runs must produce **bit-identical** Shapley values — the
+//! engine's determinism contract — and the measured times are written to
+//! `BENCH_par.json` at the workspace root so later PRs can track the
+//! speedup trajectory. Target: ≥ 4× on 8 cores (linear-ish scaling; the
+//! workload is embarrassingly parallel, so the ceiling is memory
+//! bandwidth, not structure).
+//!
+//! Knobs: `FEDVAL_PAR_N=<clients>` (default 16; `FEDVAL_QUICK=1` drops to
+//! 10), `FEDVAL_PAR_JSON=<path>` to redirect the report.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use fedval_bench::quick;
+use fedval_core::coalition::Coalition;
+use fedval_core::exact::exact_mc_sv;
+use fedval_core::utility::{CachedUtility, ParallelUtility, Utility};
+use fedval_data::{MnistLike, SyntheticSetup};
+use fedval_fl::{FedAvgConfig, FlUtility, ModelSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn n_clients() -> usize {
+    if let Ok(v) = std::env::var("FEDVAL_PAR_N") {
+        return v.parse().expect("FEDVAL_PAR_N must be a client count");
+    }
+    if quick() {
+        10
+    } else {
+        16
+    }
+}
+
+/// A small but real FL utility: every evaluation is a genuine FedAvg
+/// train + test-accuracy cycle over the coalition's datasets.
+fn fl_utility(n: usize) -> FlUtility {
+    let gen = MnistLike::new(0x9A9);
+    let (train, test) = gen.generate_split(8 * n, 100, 0x9AA);
+    let mut rng = StdRng::seed_from_u64(0x9AB);
+    let clients = SyntheticSetup::SameSizeSameDist.partition(&train, n, &mut rng);
+    FlUtility::new(
+        clients,
+        test,
+        ModelSpec::default_mlp(),
+        FedAvgConfig {
+            rounds: 1,
+            local_epochs: 1,
+            batch_size: 16,
+            lr: 0.2,
+            seed: 0x9AC,
+            ..Default::default()
+        },
+    )
+}
+
+struct Run {
+    threads: usize,
+    secs: f64,
+    values: Vec<f64>,
+    evaluations: usize,
+}
+
+fn run_with_threads(n: usize, threads: usize) -> Run {
+    let u = CachedUtility::new(ParallelUtility::with_num_threads(fl_utility(n), threads));
+    let start = Instant::now();
+    let values = exact_mc_sv(&u);
+    let secs = start.elapsed().as_secs_f64();
+    Run {
+        threads,
+        secs,
+        values,
+        evaluations: u.stats().evaluations,
+    }
+}
+
+fn json_report(n: usize, cores: usize, serial: &Run, parallel: &Run, identical: bool) -> String {
+    format!(
+        "{{\n  \"bench\": \"par_speedup\",\n  \"scenario\": \"exact MC-SV over FL-backed utility (fig9-style synthetic MNIST, FedAvg 1 round)\",\n  \"n_clients\": {n},\n  \"coalitions\": {},\n  \"machine_cores\": {cores},\n  \"serial\": {{\"threads\": {}, \"seconds\": {:.6}, \"evaluations\": {}}},\n  \"parallel\": {{\"threads\": {}, \"seconds\": {:.6}, \"evaluations\": {}}},\n  \"speedup\": {:.4},\n  \"values_bit_identical\": {identical}\n}}\n",
+        1u64 << n,
+        serial.threads,
+        serial.secs,
+        serial.evaluations,
+        parallel.threads,
+        parallel.secs,
+        parallel.evaluations,
+        serial.secs / parallel.secs,
+    )
+}
+
+fn main() {
+    let n = n_clients();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "par_speedup: n = {n} clients, 2^{n} = {} coalitions, {cores} cores",
+        1u64 << n
+    );
+
+    // Sanity anchor: a single evaluation is a real training.
+    let probe = fl_utility(n);
+    let full = probe.eval(Coalition::full(n));
+    println!("U(N) = {full:.4} (single FedAvg cycle)");
+
+    let serial = run_with_threads(n, 1);
+    println!(
+        "threads=1   {:8.3}s  ({} distinct trainings)",
+        serial.secs, serial.evaluations
+    );
+    let parallel = run_with_threads(n, cores);
+    println!(
+        "threads={cores:<3} {:8.3}s  ({} distinct trainings)",
+        parallel.secs, parallel.evaluations
+    );
+
+    let identical = serial.values == parallel.values;
+    let speedup = serial.secs / parallel.secs;
+    println!("speedup: {speedup:.2}x  values bit-identical: {identical}");
+    assert!(identical, "parallel values diverged from serial values");
+
+    let path = std::env::var("FEDVAL_PAR_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_par.json", env!("CARGO_MANIFEST_DIR")));
+    let report = json_report(n, cores, &serial, &parallel, identical);
+    let mut file = std::fs::File::create(&path).expect("create BENCH_par.json");
+    file.write_all(report.as_bytes())
+        .expect("write BENCH_par.json");
+    println!("wrote {path}");
+}

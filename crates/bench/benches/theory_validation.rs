@@ -74,9 +74,8 @@ fn main() {
 
     // --- Theorem 3: truncation error vs bound on the analytic game. ---
     let mut table = Table::new(["γ", "k*", "Analytic rel-err", "IPSS rel-err (sim)", "Bound"]);
-    let analytic_game = TableUtility::from_fn(n, |s| {
-        -expected_coalition_mse(mu_e, x_dim, t, s.size(), m0)
-    });
+    let analytic_game =
+        TableUtility::from_fn(n, |s| -expected_coalition_mse(mu_e, x_dim, t, s.size(), m0));
     let exact_analytic = exact_mc_sv(&analytic_game);
     for gamma in [n + 1, 2 * n + 4, 1 << (n - 1), 1 << n] {
         let k_star = compute_k_star(n, gamma).unwrap();

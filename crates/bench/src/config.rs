@@ -19,7 +19,9 @@ pub fn gamma_for(n: usize) -> usize {
 /// True when `FEDVAL_QUICK=1` — benches then use a reduced
 /// parameterisation.
 pub fn quick() -> bool {
-    std::env::var("FEDVAL_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("FEDVAL_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The base seed for all experiment randomness (`FEDVAL_SEED`,

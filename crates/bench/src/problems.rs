@@ -4,9 +4,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use fedval_data::{
-    AdultLike, Dataset, FemnistLike, MnistLike, SyntheticSetup,
-};
+use fedval_data::{AdultLike, Dataset, FemnistLike, MnistLike, SyntheticSetup};
 use fedval_fl::{FedAvgConfig, FlUtility, GbdtUtility, ModelSpec};
 use fedval_gbdt::GbdtParams;
 

@@ -8,10 +8,8 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use serde::{Deserialize, Serialize};
-
 /// One algorithm's measurement within an experiment cell.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Measurement {
     pub algorithm: String,
     /// Wall-clock or τ-model seconds, depending on the experiment.
@@ -23,7 +21,7 @@ pub struct Measurement {
 }
 
 /// A full experiment report (one bench target / one paper artefact).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
     /// Identifier matching the paper artefact, e.g. "table4".
     pub experiment: String,
@@ -58,12 +56,11 @@ impl ExperimentReport {
         });
     }
 
-    /// Serialise to a JSON string (hand-rolled writer over serde's data
-    /// model is unnecessary — this is plain `serde_json`-free formatting
-    /// via the `Serialize` impl and our own emitter below).
+    /// Serialise to a JSON string.
     pub fn to_json(&self) -> String {
-        // A minimal JSON emitter (the workspace's dependency policy avoids
-        // serde_json); the structure is flat enough to emit directly.
+        // A minimal JSON emitter (the workspace builds without a registry,
+        // so serde/serde_json are unavailable); the structure is flat
+        // enough to emit directly.
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!(
@@ -180,10 +177,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_traits_are_derived() {
-        // The types implement Serialize/Deserialize so downstream tooling
-        // can use any serde format; sanity-check via Debug equality after
-        // a clone.
+    fn reports_are_cloneable_and_comparable() {
         let r = sample_report();
         let copy = r.clone();
         assert_eq!(r, copy);

@@ -116,31 +116,26 @@ impl RunResult {
 }
 
 /// Pre-evaluate a set of coalitions in parallel across threads, filling
-/// the shared cache. Parallelism note: every later read is a cache hit,
-/// so the wall time of the *algorithm* measured afterwards reflects the
-/// paper's sequential accounting only when prefill is *not* used; use this
-/// only for ground-truth computation, never inside a timed run.
+/// the shared cache. The sharded `CachedUtility` is hammered from
+/// `current_num_threads` scoped threads directly: the shards absorb the
+/// write contention and each distinct coalition is trained and counted
+/// exactly once. Parallelism note: every later read is a cache hit, so
+/// the wall time of the *algorithm* measured afterwards reflects the
+/// paper's sequential accounting only when prefill is *not* used; use
+/// this only for ground-truth computation, never inside a timed run.
 pub fn parallel_prefill<U: Utility + Sync>(u: &CachedUtility<U>, coalitions: &[Coalition]) {
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4)
-        .min(coalitions.len().max(1));
+    let threads = rayon::current_num_threads().min(coalitions.len().max(1));
     if threads <= 1 {
-        for &c in coalitions {
-            u.eval(c);
-        }
+        let _ = u.eval_batch(coalitions);
         return;
     }
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for chunk in coalitions.chunks(coalitions.len().div_ceil(threads)) {
-            scope.spawn(move |_| {
-                for &c in chunk {
-                    u.eval(c);
-                }
+            scope.spawn(move || {
+                let _ = u.eval_batch(chunk);
             });
         }
-    })
-    .expect("prefill thread panicked");
+    });
 }
 
 /// Exact ground-truth MC-SV for a neural problem (parallel pre-fill over
@@ -174,8 +169,13 @@ pub fn run_neural(
     let (values, evaluations) = if algorithm.is_gradient_based() {
         let input = problem.test.n_features();
         let classes = problem.test.n_classes();
-        let (_, history) =
-            train_with_history(&problem.spec, &problem.clients, input, classes, &problem.fed);
+        let (_, history) = train_with_history(
+            &problem.spec,
+            &problem.clients,
+            input,
+            classes,
+            &problem.fed,
+        );
         let evaluator = problem.spec.build(input, classes, 0);
         let values = match algorithm {
             Algorithm::Or => or_valuation(&history, evaluator, problem.test.clone()),
@@ -277,10 +277,10 @@ impl TauModel {
             .map(|t| t.get())
             .unwrap_or(4)
             .min(coalitions.len());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for chunk in coalitions.chunks(coalitions.len().div_ceil(threads)) {
                 let acc = &acc;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local_secs = vec![0.0f64; n + 1];
                     let mut local_counts = vec![0usize; n + 1];
                     for &c in chunk {
@@ -296,8 +296,7 @@ impl TauModel {
                     }
                 });
             }
-        })
-        .expect("tau measurement thread panicked");
+        });
         let (secs, counts) = acc.into_inner().unwrap();
         let tau_by_size = secs
             .iter()
@@ -348,7 +347,12 @@ impl<'a, U: Utility> RecordingUtility<'a, U> {
 
     /// The distinct coalitions evaluated so far.
     pub fn recorded(&self) -> Vec<Coalition> {
-        self.seen.lock().unwrap().iter().map(|&m| Coalition(m)).collect()
+        self.seen
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|&m| Coalition(m))
+            .collect()
     }
 }
 

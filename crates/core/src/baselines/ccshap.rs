@@ -36,15 +36,29 @@ pub fn cc_shapley<U: Utility + ?Sized, R: Rng + ?Sized>(
     let n = u.n_clients();
     assert!(n >= 1);
     assert!(cfg.rounds >= 1);
+    // Draw every round's coalition first (identical RNG stream to the
+    // historical draw-then-evaluate interleaving), evaluate all (S, N\S)
+    // pairs as one batch, then fold in draw order.
+    let rounds: Vec<crate::coalition::Coalition> = (0..cfg.rounds)
+        .map(|_| {
+            let k = rng.random_range(1..=n);
+            random_subset_of_size(n, k, rng)
+        })
+        .collect();
+    let mut batch = Vec::with_capacity(rounds.len() * 2);
+    for &s in &rounds {
+        batch.push(s);
+        batch.push(s.complement(n));
+    }
+    let values = u.eval_batch(&batch);
     // sums[i][k-1], counts[i][k-1]: complementary contributions observed for
     // client i at stratum k (the size of the side containing i).
     let mut sums = vec![vec![0.0f64; n]; n];
     let mut counts = vec![vec![0usize; n]; n];
-    for _ in 0..cfg.rounds {
-        let k = rng.random_range(1..=n);
-        let s = random_subset_of_size(n, k, rng);
+    for (round, &s) in rounds.iter().enumerate() {
+        let k = s.size();
         let comp = s.complement(n);
-        let cc = u.eval(s) - u.eval(comp);
+        let cc = values[round * 2] - values[round * 2 + 1];
         for i in s.members() {
             sums[i][k - 1] += cc;
             counts[i][k - 1] += 1;

@@ -5,6 +5,13 @@
 //! contribution (Eq. 20). Truncation skips the tail of a permutation once
 //! the prefix utility is within `tolerance` of the grand-coalition utility
 //! (further marginals are presumed negligible).
+//!
+//! Unlike the stratified estimators, TMC is *not* routed through
+//! [`Utility::eval_batch`]: each step's truncation decision depends on the
+//! utility of the previous prefix, so a permutation's evaluations form a
+//! serial dependency chain. Wrap the utility in
+//! [`crate::utility::CachedUtility`] to share prefix evaluations across
+//! permutations instead.
 
 use rand::Rng;
 
@@ -115,8 +122,16 @@ mod tests {
         let without_trunc = CachedUtility::new(sat);
         let mut r1 = StdRng::seed_from_u64(3);
         let mut r2 = StdRng::seed_from_u64(3);
-        let _ = extended_tmc(&with_trunc, &TmcConfig::new(20).with_tolerance(0.02), &mut r1);
-        let _ = extended_tmc(&without_trunc, &TmcConfig::new(20).with_tolerance(0.0), &mut r2);
+        let _ = extended_tmc(
+            &with_trunc,
+            &TmcConfig::new(20).with_tolerance(0.02),
+            &mut r1,
+        );
+        let _ = extended_tmc(
+            &without_trunc,
+            &TmcConfig::new(20).with_tolerance(0.0),
+            &mut r2,
+        );
         assert!(
             with_trunc.stats().evaluations < without_trunc.stats().evaluations,
             "truncation must reduce distinct evaluations ({} vs {})",

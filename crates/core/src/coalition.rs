@@ -340,11 +340,7 @@ mod tests {
         for n in 0..=10usize {
             for k in 0..=n {
                 let subs: Vec<_> = subsets_of_size(n, k).collect();
-                assert_eq!(
-                    subs.len() as u128,
-                    binom_u128(n, k),
-                    "C({n},{k}) mismatch"
-                );
+                assert_eq!(subs.len() as u128, binom_u128(n, k), "C({n},{k}) mismatch");
                 for s in &subs {
                     assert_eq!(s.size(), k);
                     assert!(s.is_subset_of(Coalition::full(n)));

@@ -10,16 +10,50 @@
 use crate::coalition::{all_subsets, binom, Coalition};
 use crate::utility::Utility;
 
+/// Size (in coalitions) of the batches the exact passes hand to
+/// [`Utility::eval_batch`]. Large enough to amortise fan-out overhead and
+/// keep every core busy, small enough to bound the in-flight value buffer
+/// at `n = 24`.
+const EXACT_BATCH: usize = 8192;
+
+/// Evaluate all `2^n` coalitions via `eval_batch` (in chunks) into a table
+/// indexed by coalition mask. One evaluation per distinct coalition — the
+/// fold phases then read the table instead of re-invoking the utility.
+pub(crate) fn full_value_table<U: Utility + ?Sized>(u: &U, n: usize) -> Vec<f64> {
+    let mut table = vec![0.0f64; 1 << n];
+    let mut batch: Vec<Coalition> = Vec::with_capacity(EXACT_BATCH.min(1 << n));
+    let mut start = 0usize;
+    for t in all_subsets(n) {
+        batch.push(t);
+        if batch.len() == EXACT_BATCH {
+            table[start..start + batch.len()].copy_from_slice(&u.eval_batch(&batch));
+            start += batch.len();
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        table[start..start + batch.len()].copy_from_slice(&u.eval_batch(&batch));
+    }
+    table
+}
+
 /// Exact MC-SV (Def. 3):
 /// `ϕ_i = Σ_{S ⊆ N\{i}} (U(M_{S∪{i}}) − U(M_S)) / (n · C(n−1, |S|))`.
 ///
-/// Implemented as a single pass over all `2^n` coalitions `T`: each `T ∋ i`
+/// Implemented in two phases: a batched evaluation of all `2^n` coalitions
+/// through [`Utility::eval_batch`] (so a [`ParallelUtility`] inner trains
+/// them across all cores and every coalition is evaluated exactly once,
+/// cached or not), then a serial fold in mask order — each `T ∋ i`
 /// contributes the marginal `U(T) − U(T\{i})` to client `i` with weight
-/// `1/(n · C(n−1, |T|−1))`.
+/// `1/(n · C(n−1, |T|−1))`. The fold order matches the historical serial
+/// implementation, so results are bit-identical at any thread count.
+///
+/// [`ParallelUtility`]: crate::utility::ParallelUtility
 pub fn exact_mc_sv<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
     let n = u.n_clients();
     assert!(n >= 1, "need at least one client");
     assert!(n <= 24, "exact computation enumerates 2^n coalitions");
+    let table = full_value_table(u, n);
     let mut phi = vec![0.0; n];
     let inv_n = 1.0 / n as f64;
     // Precompute 1/C(n-1, s) for s = 0..n.
@@ -28,10 +62,10 @@ pub fn exact_mc_sv<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
         if t.is_empty() {
             continue;
         }
-        let ut = u.eval(t);
+        let ut = table[t.0 as usize];
         let w = inv_n * inv_binom[t.size() - 1];
         for i in t.members() {
-            let us = u.eval(t.without(i));
+            let us = table[t.without(i).0 as usize];
             phi[i] += (ut - us) * w;
         }
     }
@@ -40,10 +74,14 @@ pub fn exact_mc_sv<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
 
 /// Exact CC-SV (Def. 4):
 /// `ϕ_i = Σ_{S ⊆ N\{i}} (U(M_{S∪{i}}) − U(M_{N\(S∪{i})})) / (n · C(n−1, |S|))`.
+///
+/// Batched like [`exact_mc_sv`]: one `eval_batch` sweep, then a serial
+/// fold in mask order.
 pub fn exact_cc_sv<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
     let n = u.n_clients();
     assert!(n >= 1);
     assert!(n <= 24, "exact computation enumerates 2^n coalitions");
+    let table = full_value_table(u, n);
     let mut phi = vec![0.0; n];
     let inv_n = 1.0 / n as f64;
     let inv_binom: Vec<f64> = (0..n).map(|s| 1.0 / binom(n - 1, s)).collect();
@@ -51,7 +89,7 @@ pub fn exact_cc_sv<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
         if t.is_empty() {
             continue;
         }
-        let cc = u.eval(t) - u.eval(t.complement(n));
+        let cc = table[t.0 as usize] - table[t.complement(n).0 as usize];
         let w = inv_n * inv_binom[t.size() - 1];
         for i in t.members() {
             phi[i] += cc * w;
@@ -207,5 +245,66 @@ mod tests {
     fn naive_evaluation_count() {
         assert_eq!(perm_sv_naive_evaluations(3), 24.0); // 3! · 4
         assert!(perm_sv_naive_evaluations(10) > 3.9e7);
+    }
+
+    #[test]
+    fn exact_passes_evaluate_each_coalition_once_even_uncached() {
+        // The batched sweep must touch every coalition exactly once —
+        // without requiring a CachedUtility wrapper (the historical serial
+        // code re-evaluated `T\{i}` for every member of every `T`).
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting {
+            inner: HashUtility,
+            calls: AtomicUsize,
+        }
+        impl crate::utility::Utility for Counting {
+            fn n_clients(&self) -> usize {
+                self.inner.n
+            }
+            fn eval(&self, s: Coalition) -> f64 {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                self.inner.eval(s)
+            }
+        }
+        let u = Counting {
+            inner: HashUtility { n: 8, seed: 77 },
+            calls: AtomicUsize::new(0),
+        };
+        let mc = exact_mc_sv(&u);
+        assert_eq!(u.calls.load(Ordering::Relaxed), 1 << 8);
+        let cc = exact_cc_sv(&u);
+        assert_eq!(u.calls.load(Ordering::Relaxed), 2 << 8);
+        // And the values still agree with each other (SV identity).
+        for (a, b) in mc.iter().zip(&cc) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn batched_sweep_matches_cached_serial_reference() {
+        // Reference fold identical to the pre-batching implementation.
+        fn reference<U: crate::utility::Utility>(u: &U) -> Vec<f64> {
+            let n = u.n_clients();
+            let mut phi = vec![0.0; n];
+            let inv_n = 1.0 / n as f64;
+            let inv_binom: Vec<f64> = (0..n)
+                .map(|s| 1.0 / crate::coalition::binom(n - 1, s))
+                .collect();
+            for t in crate::coalition::all_subsets(n) {
+                if t.is_empty() {
+                    continue;
+                }
+                let ut = u.eval(t);
+                let w = inv_n * inv_binom[t.size() - 1];
+                for i in t.members() {
+                    phi[i] += (ut - u.eval(t.without(i))) * w;
+                }
+            }
+            phi
+        }
+        for n in 1..=9usize {
+            let u = HashUtility { n, seed: 3 };
+            assert_eq!(exact_mc_sv(&u), reference(&u), "n = {n}");
+        }
     }
 }

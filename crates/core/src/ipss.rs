@@ -17,11 +17,23 @@
 //! Theorem 3 bounds the relative error by `O((n−k*)/(k*·n·t))` under the FL
 //! linear-regression model — see `fedval-theory` for the closed forms.
 
+use std::collections::HashMap;
+
 use rand::Rng;
 
 use crate::coalition::{binom, binom_u128, subsets_of_size, subsets_up_to, Coalition};
 use crate::sampling::balanced_subsets_of_size;
-use crate::utility::Utility;
+use crate::utility::{eval_batch_into_memo, Utility};
+
+/// Internal memo of evaluated coalition values, keyed by mask.
+///
+/// IPSS holds the values it paid for instead of re-asking the utility:
+/// the estimation pass (lines 15–17) touches every phase-1 coalition
+/// `n`-ish times, which against a *non-cached* utility used to silently
+/// re-train models far past the `γ` budget. With the memo, exactly `γ`
+/// evaluations reach the utility whether or not it is wrapped in a
+/// [`crate::utility::CachedUtility`].
+type ValueMemo = HashMap<u128, f64>;
 
 /// How the partially-sampled stratum `k*` is normalised (DESIGN.md §3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -103,28 +115,29 @@ pub fn ipss<U: Utility + ?Sized, R: Rng + ?Sized>(
     let k_star = compute_k_star(n, cfg.gamma)
         .unwrap_or_else(|| panic!("γ = {} cannot even afford U(∅)", cfg.gamma));
 
-    // Phase 1 (lines 2-7): evaluate all coalitions of size ≤ k*.
+    // Phase 1 (lines 2-7): evaluate all coalitions of size ≤ k*, one batch
+    // per stratum, so a parallel utility trains each stratum concurrently.
+    let mut memo = ValueMemo::new();
     let exhaustive = subsets_up_to(n, k_star);
     for size in 0..=k_star {
-        for s in subsets_of_size(n, size) {
-            u.eval(s);
-        }
+        let stratum: Vec<Coalition> = subsets_of_size(n, size).collect();
+        eval_batch_into_memo(u, &stratum, &mut memo);
     }
 
-    // Phase 2 (lines 8-14): balanced sample P of size-(k*+1) coalitions.
+    // Phase 2 (lines 8-14): balanced sample P of size-(k*+1) coalitions,
+    // evaluated as one batch.
     let sampled = if k_star < n {
         let remaining = (cfg.gamma as u128 - exhaustive).min(binom_u128(n, k_star + 1));
         let p = balanced_subsets_of_size(n, k_star + 1, remaining as usize, rng);
-        for &s in &p {
-            u.eval(s);
-        }
+        eval_batch_into_memo(u, &p, &mut memo);
         p
     } else {
         Vec::new()
     };
 
-    // Lines 15-17: MC-SV over the evaluated coalitions.
-    let values = estimate(u, n, k_star, &sampled, cfg.weighting);
+    // Lines 15-17: MC-SV over the evaluated coalitions (memo reads only —
+    // no further utility evaluations).
+    let values = estimate(n, k_star, &sampled, cfg.weighting, &memo);
     IpssOutcome {
         values,
         k_star,
@@ -142,13 +155,22 @@ pub fn ipss_values<U: Utility + ?Sized, R: Rng + ?Sized>(
     ipss(u, cfg, rng).values
 }
 
-fn estimate<U: Utility + ?Sized>(
-    u: &U,
+/// Lines 15–17: MC-SV restricted to the evaluated coalitions.
+///
+/// Reads exclusively from the memo — the budget was spent during the
+/// sampling phases. The fold order matches the historical serial
+/// implementation (strata in ascending size, masks in enumeration order),
+/// so estimates are bit-identical to the serial path at any thread count.
+fn estimate(
     n: usize,
     k_star: usize,
     sampled: &[Coalition],
     weighting: IpssWeighting,
+    memo: &ValueMemo,
 ) -> Vec<f64> {
+    let value = |s: Coalition| -> f64 {
+        memo[&s.0] // every pair member was evaluated in phase 1/2
+    };
     let mut phi = vec![0.0f64; n];
     let inv_n = 1.0 / n as f64;
     let inv_binom: Vec<f64> = (0..n).map(|s| 1.0 / binom(n - 1, s)).collect();
@@ -158,10 +180,10 @@ fn estimate<U: Utility + ?Sized>(
     // contribution Σ_S (U(S∪{i})−U(S))/C(n−1,s).
     for t_size in 1..=k_star {
         for t in subsets_of_size(n, t_size) {
-            let ut = u.eval(t);
+            let ut = value(t);
             let w = inv_n * inv_binom[t_size - 1];
             for i in t.members() {
-                phi[i] += (ut - u.eval(t.without(i))) * w;
+                phi[i] += (ut - value(t.without(i))) * w;
             }
         }
     }
@@ -172,9 +194,9 @@ fn estimate<U: Utility + ?Sized>(
         let mut sums = vec![0.0f64; n];
         let mut counts = vec![0usize; n];
         for &t in sampled {
-            let ut = u.eval(t);
+            let ut = value(t);
             for i in t.members() {
-                sums[i] += ut - u.eval(t.without(i));
+                sums[i] += ut - value(t.without(i));
                 counts[i] += 1;
             }
         }
@@ -231,8 +253,9 @@ pub fn ipss_adaptive<U: Utility + ?Sized>(u: &U, cfg: &AdaptiveIpssConfig) -> Ip
     assert!(cfg.max_gamma as u128 > n as u128, "budget too small");
     assert!((0.0..1.0).contains(&cfg.plateau_fraction));
 
+    let mut memo = ValueMemo::new();
     let mut spent: u128 = 1; // ∅
-    u.eval(Coalition::empty());
+    eval_batch_into_memo(u, &[Coalition::empty()], &mut memo);
     let mut k_star = 0usize;
     let mut first_stratum_mean: Option<f64> = None;
     for k in 1..=n {
@@ -240,13 +263,17 @@ pub fn ipss_adaptive<U: Utility + ?Sized>(u: &U, cfg: &AdaptiveIpssConfig) -> Ip
         if spent + cost > cfg.max_gamma as u128 {
             break;
         }
-        // Evaluate the stratum and measure its mean |marginal|.
+        // Evaluate the stratum as one batch, then measure its mean
+        // |marginal| from the memo (the size-(k−1) stratum is already
+        // memoised).
+        let stratum: Vec<Coalition> = subsets_of_size(n, k).collect();
+        eval_batch_into_memo(u, &stratum, &mut memo);
         let mut abs_sum = 0.0f64;
         let mut pairs = 0usize;
-        for t in subsets_of_size(n, k) {
-            let ut = u.eval(t);
+        for &t in &stratum {
+            let ut = memo[&t.0];
             for i in t.members() {
-                abs_sum += (ut - u.eval(t.without(i))).abs();
+                abs_sum += (ut - memo[&t.without(i).0]).abs();
                 pairs += 1;
             }
         }
@@ -262,7 +289,7 @@ pub fn ipss_adaptive<U: Utility + ?Sized>(u: &U, cfg: &AdaptiveIpssConfig) -> Ip
             }
         }
     }
-    let values = estimate(u, n, k_star, &[], IpssWeighting::StratifiedMean);
+    let values = estimate(n, k_star, &[], IpssWeighting::StratifiedMean, &memo);
     IpssOutcome {
         values,
         k_star,
@@ -277,9 +304,7 @@ mod tests {
     use crate::exact::exact_mc_sv;
     use crate::metrics::l2_relative_error;
     use crate::sampling::coverage_counts;
-    use crate::utility::{
-        CachedUtility, HashUtility, SaturatingUtility, TableUtility,
-    };
+    use crate::utility::{CachedUtility, HashUtility, SaturatingUtility, TableUtility};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -383,6 +408,58 @@ mod tests {
         let a = ipss_values(&u, &IpssConfig::new(20), &mut StdRng::seed_from_u64(42));
         let b = ipss_values(&u, &IpssConfig::new(20), &mut StdRng::seed_from_u64(42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uncached_utility_sees_exactly_gamma_evaluations() {
+        // Regression: the estimation pass used to re-evaluate every
+        // phase-1 coalition through the utility, so a *plain* (uncached)
+        // utility was silently trained far past the γ budget. The internal
+        // memo must hold the count to exactly γ.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting {
+            inner: HashUtility,
+            calls: AtomicUsize,
+        }
+        impl crate::utility::Utility for Counting {
+            fn n_clients(&self) -> usize {
+                self.inner.n
+            }
+            fn eval(&self, s: crate::coalition::Coalition) -> f64 {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                self.inner.eval(s)
+            }
+        }
+        // k* < n for every γ here, so the budget is consumed in full:
+        // phase 1 spends Σ_{j≤k*} C(8,j) and phase 2 exactly the rest.
+        for gamma in [1usize, 5, 9, 10, 36, 37, 40, 93, 200] {
+            let u = Counting {
+                inner: HashUtility { n: 8, seed: 6 },
+                calls: AtomicUsize::new(0),
+            };
+            let mut rng = StdRng::seed_from_u64(13);
+            let _ = ipss(&u, &IpssConfig::new(gamma), &mut rng);
+            assert_eq!(
+                u.calls.load(Ordering::Relaxed),
+                gamma,
+                "γ = {gamma} must hit the utility exactly γ times"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_fan_out_is_bit_identical_to_serial() {
+        // Same seed ⇒ identical estimates with 1, 2 and 8 rayon threads,
+        // and identical to the plain serial utility.
+        use crate::utility::ParallelUtility;
+        let base = HashUtility { n: 10, seed: 21 };
+        let cfg = IpssConfig::new(40);
+        let serial = ipss_values(&base, &cfg, &mut StdRng::seed_from_u64(77));
+        for threads in [1usize, 2, 8] {
+            let par = ParallelUtility::with_num_threads(base.clone(), threads);
+            let got = ipss_values(&par, &cfg, &mut StdRng::seed_from_u64(77));
+            assert_eq!(got, serial, "thread count {threads}");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! motivates the importance-pruning of IPSS.
 
 use crate::coalition::{binom, subsets_of_size};
-use crate::utility::Utility;
+use crate::utility::{eval_batch_into_memo, Utility};
 
 /// Alg. 2 — K-Greedy.
 ///
@@ -21,20 +21,28 @@ use crate::utility::Utility;
 pub fn k_greedy<U: Utility + ?Sized>(u: &U, k_max: usize) -> Vec<f64> {
     let n = u.n_clients();
     assert!(n >= 1);
-    assert!(k_max >= 1, "K must be at least 1 (K=1 uses only singletons)");
+    assert!(
+        k_max >= 1,
+        "K must be at least 1 (K=1 uses only singletons)"
+    );
     let k_max = k_max.min(n);
     let mut phi = vec![0.0; n];
     let inv_n = 1.0 / n as f64;
     let inv_binom: Vec<f64> = (0..n).map(|s| 1.0 / binom(n - 1, s)).collect();
     // Enumerate coalitions T with 1 ≤ |T| ≤ K. For each member i of T the
     // pair (S = T\{i}, S∪{i} = T) has |S| = |T|−1 < K, exactly the index
-    // set of Alg. 2 line 7.
+    // set of Alg. 2 line 7. Each stratum is evaluated as one batch and
+    // memoised, so even an uncached utility sees each coalition once.
+    let mut memo: std::collections::HashMap<u128, f64> = std::collections::HashMap::new();
+    eval_batch_into_memo(u, &[crate::coalition::Coalition::empty()], &mut memo);
     for t_size in 1..=k_max {
-        for t in subsets_of_size(n, t_size) {
-            let ut = u.eval(t);
+        let stratum: Vec<crate::coalition::Coalition> = subsets_of_size(n, t_size).collect();
+        eval_batch_into_memo(u, &stratum, &mut memo);
+        for &t in &stratum {
+            let ut = memo[&t.0];
             let w = inv_n * inv_binom[t_size - 1];
             for i in t.members() {
-                let us = u.eval(t.without(i));
+                let us = memo[&t.without(i).0];
                 phi[i] += (ut - us) * w;
             }
         }
@@ -52,9 +60,7 @@ pub fn k_greedy_evaluations(n: usize, k_max: usize) -> u128 {
 mod tests {
     use super::*;
     use crate::exact::exact_mc_sv;
-    use crate::utility::{
-        CachedUtility, HashUtility, SaturatingUtility, TableUtility,
-    };
+    use crate::utility::{CachedUtility, HashUtility, SaturatingUtility, TableUtility};
 
     #[test]
     fn k_equals_n_recovers_exact_mc_sv() {

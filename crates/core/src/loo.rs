@@ -11,13 +11,18 @@
 use crate::coalition::Coalition;
 use crate::utility::Utility;
 
-/// Leave-one-out values for all clients (`n + 1` utility evaluations).
+/// Leave-one-out values for all clients (`n + 1` utility evaluations,
+/// issued as one batch so a parallel utility trains them concurrently).
 pub fn leave_one_out<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
     let n = u.n_clients();
     assert!(n >= 1);
     let full = Coalition::full(n);
-    let u_full = u.eval(full);
-    (0..n).map(|i| u_full - u.eval(full.without(i))).collect()
+    let mut batch = Vec::with_capacity(n + 1);
+    batch.push(full);
+    batch.extend((0..n).map(|i| full.without(i)));
+    let values = u.eval_batch(&batch);
+    let u_full = values[0];
+    (0..n).map(|i| u_full - values[i + 1]).collect()
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 //! grid with Monte-Carlo coalitions at each node, optionally with
 //! antithetic pairing (`S_q` and its complement) for variance reduction.
 
+use std::collections::{HashMap, HashSet};
+
 use rand::Rng;
 
 use crate::coalition::Coalition;
@@ -56,8 +58,13 @@ pub fn owen_sampling<U: Utility + ?Sized, R: Rng + ?Sized>(
     let mut node_means = vec![vec![0.0f64; n]; cfg.q_nodes];
     for (node, means) in node_means.iter_mut().enumerate() {
         let q = node as f64 / (cfg.q_nodes - 1) as f64;
-        let mut sums = vec![0.0f64; n];
-        let mut counts = vec![0usize; n];
+        // Draw the node's coalitions first (the RNG stream is identical to
+        // the historical draw-then-evaluate interleaving, which consumed no
+        // randomness during evaluation), then evaluate the whole
+        // neighbourhood — each sample plus its n single-flip variants — as
+        // one deduplicated batch.
+        let mut samples: Vec<Coalition> =
+            Vec::with_capacity(cfg.samples_per_node * if cfg.antithetic { 2 } else { 1 });
         for _ in 0..cfg.samples_per_node {
             let mut mask = 0u128;
             for i in 0..n {
@@ -65,11 +72,16 @@ pub fn owen_sampling<U: Utility + ?Sized, R: Rng + ?Sized>(
                     mask |= 1 << i;
                 }
             }
-            accumulate(u, Coalition(mask), n, &mut sums, &mut counts);
+            samples.push(Coalition(mask));
             if cfg.antithetic {
-                let comp = Coalition(mask).complement(n);
-                accumulate(u, comp, n, &mut sums, &mut counts);
+                samples.push(Coalition(mask).complement(n));
             }
+        }
+        let values = batch_neighbourhoods(u, n, &samples);
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0usize; n];
+        for &s in &samples {
+            accumulate(&values, s, n, &mut sums, &mut counts);
         }
         for (mean, (&sum, &count)) in means.iter_mut().zip(sums.iter().zip(&counts)) {
             *mean = if count > 0 { sum / count as f64 } else { 0.0 };
@@ -90,23 +102,56 @@ pub fn owen_sampling<U: Utility + ?Sized, R: Rng + ?Sized>(
     phi
 }
 
+/// Evaluate every coalition the accumulation pass will touch — each sample
+/// and its `n` single-flip variants — as one deduplicated `eval_batch`
+/// call, returning the values keyed by mask.
+fn batch_neighbourhoods<U: Utility + ?Sized>(
+    u: &U,
+    n: usize,
+    samples: &[Coalition],
+) -> HashMap<u128, f64> {
+    let mut batch: Vec<Coalition> = Vec::with_capacity(samples.len() * (n + 1));
+    let mut seen: HashSet<u128> = HashSet::with_capacity(samples.len() * (n + 1));
+    let mut push = |batch: &mut Vec<Coalition>, s: Coalition| {
+        if seen.insert(s.0) {
+            batch.push(s);
+        }
+    };
+    for &s in samples {
+        push(&mut batch, s);
+        for i in 0..n {
+            push(
+                &mut batch,
+                if s.contains(i) {
+                    s.without(i)
+                } else {
+                    s.with(i)
+                },
+            );
+        }
+    }
+    let values = u.eval_batch(&batch);
+    batch.iter().zip(values).map(|(s, v)| (s.0, v)).collect()
+}
+
 /// Record every client's marginal contribution around coalition `s` (the
 /// shared-sample trick): for `i ∈ s` the base coalition is `s\{i}` (a
 /// valid `S_q ⊆ N\{i}` draw), for `i ∉ s` it is `s` itself — so every
 /// sample informs every client, including at the grid ends `q ∈ {0, 1}`.
-fn accumulate<U: Utility + ?Sized>(
-    u: &U,
+/// Reads from the pre-evaluated value map.
+fn accumulate(
+    values: &HashMap<u128, f64>,
     s: Coalition,
     n: usize,
     sums: &mut [f64],
     counts: &mut [usize],
 ) {
-    let base = u.eval(s);
+    let base = values[&s.0];
     for i in 0..n {
         if s.contains(i) {
-            sums[i] += base - u.eval(s.without(i));
+            sums[i] += base - values[&s.without(i).0];
         } else {
-            sums[i] += u.eval(s.with(i)) - base;
+            sums[i] += values[&s.with(i).0] - base;
         }
         counts[i] += 1;
     }

@@ -20,7 +20,10 @@ use crate::coalition::Coalition;
 /// Implementations must be deterministic: repeated evaluation of the same
 /// coalition must return the same value (the FL substrate achieves this by
 /// deriving its training seed from the coalition mask). Determinism is what
-/// makes memoisation via [`CachedUtility`] sound.
+/// makes memoisation via [`CachedUtility`] sound — and what makes the
+/// batch/parallel evaluation path bit-identical to the serial one: each
+/// coalition's value is a pure function of its mask, so evaluation order
+/// and thread count cannot change any result.
 pub trait Utility: Sync {
     /// Number of FL clients `n = |N|`.
     fn n_clients(&self) -> usize;
@@ -28,6 +31,18 @@ pub trait Utility: Sync {
     /// Evaluate `U(M_S)`: train (or look up) the model for coalition `s` and
     /// measure its performance on the test set.
     fn eval(&self, s: Coalition) -> f64;
+
+    /// Evaluate a batch of coalitions, returning values positionally
+    /// aligned with `coalitions`.
+    ///
+    /// This is the engine's fan-out point: algorithms collect each
+    /// round/stratum into a batch and call this once, so a parallel
+    /// implementation ([`ParallelUtility`]) can saturate all cores while a
+    /// memoising one ([`CachedUtility`]) can dedup before training. The
+    /// default runs serially and matches `eval` exactly.
+    fn eval_batch(&self, coalitions: &[Coalition]) -> Vec<f64> {
+        coalitions.iter().map(|&s| self.eval(s)).collect()
+    }
 
     /// The grand-coalition utility `U(M_N)`; used by several baselines.
     fn eval_full(&self) -> f64 {
@@ -41,6 +56,74 @@ impl<U: Utility + ?Sized> Utility for &U {
     }
     fn eval(&self, s: Coalition) -> f64 {
         (**self).eval(s)
+    }
+    fn eval_batch(&self, coalitions: &[Coalition]) -> Vec<f64> {
+        (**self).eval_batch(coalitions)
+    }
+}
+
+/// Adapter that fans a batch evaluation out across a rayon thread pool.
+///
+/// `eval` stays serial (one coalition cannot be split); `eval_batch` maps
+/// the batch with an order-preserving parallel iterator, so results are
+/// positionally — and, by utility determinism, bit- — identical to the
+/// serial path at any thread count.
+///
+/// Typical composition is `CachedUtility::new(ParallelUtility::new(u))`:
+/// the cache dedups and forwards only the distinct misses, and this adapter
+/// trains them concurrently.
+pub struct ParallelUtility<U> {
+    inner: U,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl<U: Utility> ParallelUtility<U> {
+    /// Fan out to rayon's current thread count (all cores by default).
+    pub fn new(inner: U) -> Self {
+        ParallelUtility { inner, pool: None }
+    }
+
+    /// Fan out to exactly `threads` threads (1 = serial; used by the
+    /// determinism tests to compare 1-, 2- and N-thread runs).
+    pub fn with_num_threads(inner: U, threads: usize) -> Self {
+        assert!(threads >= 1);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build thread pool");
+        ParallelUtility {
+            inner,
+            pool: Some(pool),
+        }
+    }
+
+    /// Access the wrapped utility.
+    pub fn inner(&self) -> &U {
+        &self.inner
+    }
+}
+
+impl<U: Utility> Utility for ParallelUtility<U> {
+    fn n_clients(&self) -> usize {
+        self.inner.n_clients()
+    }
+
+    fn eval(&self, s: Coalition) -> f64 {
+        self.inner.eval(s)
+    }
+
+    fn eval_batch(&self, coalitions: &[Coalition]) -> Vec<f64> {
+        use rayon::prelude::*;
+        let run = || {
+            coalitions
+                .par_iter()
+                .map(|&s| self.inner.eval(s))
+                .collect::<Vec<f64>>()
+        };
+        match &self.pool {
+            Some(pool) => pool.install(run),
+            None => run(),
+        }
     }
 }
 
@@ -56,25 +139,61 @@ pub struct EvalStats {
     pub eval_time: Duration,
 }
 
+/// Evaluate one batch through the utility and record the results in a
+/// mask-keyed memo — the shared building block of the estimators that
+/// pay for each stratum once and fold from the memo afterwards (IPSS,
+/// K-Greedy, pruned Banzhaf).
+pub(crate) fn eval_batch_into_memo<U: Utility + ?Sized>(
+    u: &U,
+    batch: &[Coalition],
+    memo: &mut HashMap<u128, f64>,
+) {
+    let values = u.eval_batch(batch);
+    for (s, v) in batch.iter().zip(values) {
+        memo.insert(s.0, v);
+    }
+}
+
+/// Number of independent lock shards in [`CachedUtility`]. A power of two;
+/// 16 shards keep write-lock collision probability below 7% even with 16
+/// concurrent FL trainings finishing simultaneously, while costing only 16
+/// small `HashMap`s.
+const CACHE_SHARDS: usize = 16;
+
 /// Memoising wrapper around a [`Utility`].
 ///
 /// The SV approximation algorithms repeatedly touch overlapping coalitions
 /// (e.g. the MC-SV pairing `S` / `S\{i}`); caching guarantees each FL
 /// training process runs exactly once per coalition, mirroring the paper's
 /// accounting where cost is the number of *distinct* trained models.
+///
+/// The memo table is sharded by a hash of the coalition mask so that
+/// concurrent evaluations (the [`ParallelUtility`] fan-out, or many
+/// independent valuation runs sharing one cache) do not serialise on a
+/// single write lock. [`EvalStats`] stays exact under contention: when two
+/// threads race to train the same coalition, only the thread whose insert
+/// lands first increments `evaluations`.
 pub struct CachedUtility<U: Utility> {
     inner: U,
-    cache: RwLock<HashMap<u128, f64>>,
+    shards: [RwLock<HashMap<u128, f64>>; CACHE_SHARDS],
     evaluations: AtomicU64,
     lookups: AtomicU64,
     eval_nanos: AtomicU64,
+}
+
+/// Shard index for a coalition mask: top bits of a splitmix64 hash, so
+/// masks differing only in low bits (adjacent coalitions) still spread.
+#[inline]
+fn shard_of(mask: u128) -> usize {
+    let h = splitmix64(mask as u64 ^ ((mask >> 64) as u64).rotate_left(32));
+    (h >> (64 - CACHE_SHARDS.trailing_zeros())) as usize
 }
 
 impl<U: Utility> CachedUtility<U> {
     pub fn new(inner: U) -> Self {
         CachedUtility {
             inner,
-            cache: RwLock::new(HashMap::new()),
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             evaluations: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             eval_nanos: AtomicU64::new(0),
@@ -104,18 +223,45 @@ impl<U: Utility> CachedUtility<U> {
 
     /// Clear both the memo table and the statistics.
     pub fn clear(&self) {
-        self.cache.write().unwrap().clear();
+        for shard in &self.shards {
+            shard.write().unwrap().clear();
+        }
         self.reset_stats();
     }
 
     /// Number of memoised coalitions.
     pub fn cached_len(&self) -> usize {
-        self.cache.read().unwrap().len()
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
     }
 
     /// True iff the coalition has already been evaluated.
     pub fn is_cached(&self, s: Coalition) -> bool {
-        self.cache.read().unwrap().contains_key(&s.0)
+        self.shards[shard_of(s.0)]
+            .read()
+            .unwrap()
+            .contains_key(&s.0)
+    }
+
+    /// Cached value, if present.
+    fn get(&self, s: Coalition) -> Option<f64> {
+        self.shards[shard_of(s.0)]
+            .read()
+            .unwrap()
+            .get(&s.0)
+            .copied()
+    }
+
+    /// Insert a freshly evaluated value; counts it towards `evaluations`
+    /// only if this thread's insert landed first. Returns whether it did.
+    fn insert_counted(&self, s: Coalition, v: f64) -> bool {
+        let mut shard = self.shards[shard_of(s.0)].write().unwrap();
+        if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(s.0) {
+            e.insert(v);
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -126,22 +272,64 @@ impl<U: Utility> Utility for CachedUtility<U> {
 
     fn eval(&self, s: Coalition) -> f64 {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(&v) = self.cache.read().unwrap().get(&s.0) {
+        if let Some(v) = self.get(s) {
             return v;
         }
         let start = Instant::now();
         let v = self.inner.eval(s);
         let nanos = start.elapsed().as_nanos() as u64;
-        let mut cache = self.cache.write().unwrap();
-        // Double-check under the write lock: another thread may have filled
-        // the entry while we were training. Count only the first evaluation.
-        let entry = cache.entry(s.0);
-        if let std::collections::hash_map::Entry::Vacant(e) = entry {
-            e.insert(v);
-            self.evaluations.fetch_add(1, Ordering::Relaxed);
+        // Double-check inside insert_counted: another thread may have
+        // filled the entry while we were training; only the first insert
+        // is charged.
+        if self.insert_counted(s, v) {
             self.eval_nanos.fetch_add(nanos, Ordering::Relaxed);
         }
         v
+    }
+
+    /// Batched lookup: hits resolve from the shards, distinct misses are
+    /// forwarded to the inner utility as one batch (in first-occurrence
+    /// order) so a parallel inner utility can train them concurrently.
+    fn eval_batch(&self, coalitions: &[Coalition]) -> Vec<f64> {
+        self.lookups
+            .fetch_add(coalitions.len() as u64, Ordering::Relaxed);
+        let mut out = vec![0.0f64; coalitions.len()];
+        // Distinct misses in first-occurrence order + the output positions
+        // each one must fill.
+        let mut miss_index: HashMap<u128, usize> = HashMap::new();
+        let mut misses: Vec<Coalition> = Vec::new();
+        let mut pending: Vec<(usize, usize)> = Vec::new(); // (out pos, miss idx)
+        for (pos, &s) in coalitions.iter().enumerate() {
+            if let Some(v) = self.get(s) {
+                out[pos] = v;
+            } else {
+                let idx = *miss_index.entry(s.0).or_insert_with(|| {
+                    misses.push(s);
+                    misses.len() - 1
+                });
+                pending.push((pos, idx));
+            }
+        }
+        if !misses.is_empty() {
+            let start = Instant::now();
+            let values = self.inner.eval_batch(&misses);
+            // Batch-level timing: when the inner utility evaluates the
+            // misses concurrently, per-item attribution is meaningless, so
+            // the whole batch's wall time is charged once.
+            let nanos = start.elapsed().as_nanos() as u64;
+            debug_assert_eq!(values.len(), misses.len());
+            let mut any_fresh = false;
+            for (&s, &v) in misses.iter().zip(&values) {
+                any_fresh |= self.insert_counted(s, v);
+            }
+            if any_fresh {
+                self.eval_nanos.fetch_add(nanos, Ordering::Relaxed);
+            }
+            for (pos, idx) in pending {
+                out[pos] = values[idx];
+            }
+        }
+        out
     }
 }
 
@@ -449,6 +637,80 @@ mod tests {
             assert!((v - clean).abs() <= 0.05 + 1e-12);
             assert_eq!(v, u.eval(s));
         }
+    }
+
+    #[test]
+    fn eval_batch_default_matches_eval() {
+        let u = TableUtility::paper_table1();
+        let coalitions: Vec<Coalition> = all_subsets(3).collect();
+        let batch = u.eval_batch(&coalitions);
+        for (&s, &v) in coalitions.iter().zip(&batch) {
+            assert_eq!(v, u.eval(s));
+        }
+    }
+
+    #[test]
+    fn cached_eval_batch_dedups_and_counts_once() {
+        let u = CachedUtility::new(TableUtility::paper_table1());
+        let s01 = Coalition::from_members([0, 1]);
+        let s2 = Coalition::singleton(2);
+        // Duplicates inside one batch must train once.
+        let batch = u.eval_batch(&[s01, s2, s01, s01]);
+        assert_eq!(batch[0], batch[2]);
+        assert_eq!(batch[0], batch[3]);
+        assert_eq!(u.stats().evaluations, 2);
+        assert_eq!(u.stats().lookups, 4);
+        // A second batch over the same coalitions is all hits.
+        let again = u.eval_batch(&[s2, s01]);
+        assert_eq!(again, vec![batch[1], batch[0]]);
+        assert_eq!(u.stats().evaluations, 2);
+        assert_eq!(u.stats().lookups, 6);
+        // Mixed eval/eval_batch agree.
+        assert_eq!(u.eval(s01), batch[0]);
+    }
+
+    #[test]
+    fn parallel_utility_matches_serial_at_any_thread_count() {
+        let base = HashUtility { n: 11, seed: 9 };
+        let coalitions: Vec<Coalition> = all_subsets(11).collect();
+        let serial = base.eval_batch(&coalitions);
+        for threads in [1usize, 2, 4, 8] {
+            let par = ParallelUtility::with_num_threads(base.clone(), threads);
+            assert_eq!(par.n_clients(), 11);
+            let got = par.eval_batch(&coalitions);
+            assert_eq!(got, serial, "thread count {threads}");
+        }
+        let default_par = ParallelUtility::new(base);
+        assert_eq!(default_par.eval_batch(&coalitions), serial);
+    }
+
+    #[test]
+    fn cached_parallel_composition_counts_distinct_once() {
+        let u = CachedUtility::new(ParallelUtility::with_num_threads(
+            HashUtility { n: 10, seed: 5 },
+            4,
+        ));
+        let coalitions: Vec<Coalition> = all_subsets(10).collect();
+        let values = u.eval_batch(&coalitions);
+        assert_eq!(u.stats().evaluations, 1 << 10);
+        assert_eq!(u.cached_len(), 1 << 10);
+        // Re-evaluating is pure cache hits with identical values.
+        let again = u.eval_batch(&coalitions);
+        assert_eq!(values, again);
+        assert_eq!(u.stats().evaluations, 1 << 10);
+    }
+
+    #[test]
+    fn shards_spread_masks() {
+        // All 2^12 masks must not land in one shard (the point of
+        // sharding); splitmix64 spreads far better than this bound.
+        let mut counts = [0usize; super::CACHE_SHARDS];
+        for m in 0u128..(1 << 12) {
+            counts[super::shard_of(m)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max < (1 << 12) / 4, "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
     }
 
     #[test]

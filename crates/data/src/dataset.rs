@@ -250,14 +250,12 @@ mod tests {
     #[test]
     fn shuffle_is_a_permutation() {
         let mut ds = toy();
-        let before: Vec<(Vec<f32>, u32)> = (0..4)
-            .map(|i| (ds.row(i).to_vec(), ds.label(i)))
-            .collect();
+        let before: Vec<(Vec<f32>, u32)> =
+            (0..4).map(|i| (ds.row(i).to_vec(), ds.label(i))).collect();
         let mut rng = StdRng::seed_from_u64(3);
         ds.shuffle(&mut rng);
-        let mut after: Vec<(Vec<f32>, u32)> = (0..4)
-            .map(|i| (ds.row(i).to_vec(), ds.label(i)))
-            .collect();
+        let mut after: Vec<(Vec<f32>, u32)> =
+            (0..4).map(|i| (ds.row(i).to_vec(), ds.label(i))).collect();
         let mut sorted_before = before;
         sorted_before.sort_by(|a, b| a.partial_cmp(b).unwrap());
         after.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -123,8 +123,7 @@ impl MnistLike {
                 // Blurring collapses contrast; re-standardise to mean 0.5,
                 // std 0.25 so classes stay separable under sample noise.
                 let mean = img.iter().sum::<f32>() / pixels as f32;
-                let var = img.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                    / pixels as f32;
+                let var = img.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / pixels as f32;
                 let std = var.sqrt().max(1e-6);
                 for v in &mut img {
                     *v = 0.5 + 0.25 * (*v - mean) / std;
@@ -542,10 +541,10 @@ mod tests {
         let dist = ds.class_distribution();
         assert!(dist[0] > 50 && dist[1] > 50, "{dist:?}");
         // One-hot occupation block is consistent.
-        for i in 0..ds.n_samples() {
+        for (i, &occ) in occs.iter().enumerate() {
             let row = ds.row(i);
             let hot: Vec<usize> = (0..8).filter(|&o| row[6 + o] == 1.0).collect();
-            assert_eq!(hot, vec![occs[i]]);
+            assert_eq!(hot, vec![occ]);
         }
         let fed = gen.generate_federated(3, 600, 200, 2);
         assert_eq!(fed.n_clients(), 3);

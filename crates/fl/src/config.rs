@@ -1,6 +1,5 @@
 //! FedAvg hyper-parameters and deterministic seed derivation.
 
-
 /// Which federated optimisation algorithm the clients run (`A` in
 /// Def. 1). FedAvg is the paper's algorithm; FedProx (Li et al., MLSys'20,
 /// cited in Sec. VI-A) adds a proximal pull towards the global model that
@@ -11,7 +10,9 @@ pub enum FlAlgorithm {
     /// FedProx with proximal coefficient `μ`: each local step additionally
     /// pulls the weights towards the round's global model by
     /// `lr·μ·(w − w_global)` (applied at epoch granularity).
-    FedProx { mu: f32 },
+    FedProx {
+        mu: f32,
+    },
 }
 
 /// Hyper-parameters of the federated training loop (Def. 1).

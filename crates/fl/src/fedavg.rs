@@ -356,9 +356,7 @@ mod algorithm_tests {
         let picks: std::collections::HashSet<Vec<usize>> = history
             .updates
             .iter()
-            .map(|round| {
-                (0..4).filter(|&i| round[i].is_some()).collect::<Vec<_>>()
-            })
+            .map(|round| (0..4).filter(|&i| round[i].is_some()).collect::<Vec<_>>())
             .collect();
         assert!(picks.len() > 1, "participation should vary across rounds");
     }

@@ -47,7 +47,9 @@ pub fn lambda_mr(
     // Unnormalised weights λ^(T−1−t), rescaled to sum to T. With λ = 1
     // every round gets weight 1 — the plain per-round sum, whose total
     // telescopes to the overall accuracy gain.
-    let raw: Vec<f64> = (0..t).map(|r| cfg.lambda.powi((t - 1 - r) as i32)).collect();
+    let raw: Vec<f64> = (0..t)
+        .map(|r| cfg.lambda.powi((t - 1 - r) as i32))
+        .collect();
     let scale = t as f64 / raw.iter().sum::<f64>();
 
     let mut phi = vec![0.0f64; n];

@@ -18,7 +18,7 @@ pub use gtg::{gtg_shapley, GtgConfig};
 pub use lambda_mr::{lambda_mr, LambdaMrConfig};
 pub use or::or_valuation;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use fedval_core::coalition::Coalition;
 use fedval_core::utility::Utility;
@@ -45,7 +45,7 @@ impl ParamEvaluator {
     }
 
     pub(crate) fn accuracy_of(&self, params: &[f32]) -> f64 {
-        let mut net = self.net.lock();
+        let mut net = self.net.lock().unwrap();
         net.set_params(params);
         net.accuracy(&self.test)
     }

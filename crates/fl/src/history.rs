@@ -35,10 +35,7 @@ impl TrainingHistory {
     /// FedAvg weights restricted to a coalition: `w_i = |D_i| / |D_S|` over
     /// members with data. Returns `None` if the coalition holds no data.
     fn coalition_weights(&self, coalition: Coalition) -> Option<Vec<(usize, f32)>> {
-        let total: usize = coalition
-            .members()
-            .map(|i| self.client_sizes[i])
-            .sum();
+        let total: usize = coalition.members().map(|i| self.client_sizes[i]).sum();
         if total == 0 {
             return None;
         }

@@ -59,6 +59,10 @@ impl Utility for FlUtility {
         self.clients.len()
     }
 
+    /// One full FedAvg train + evaluate cycle. Every mutable piece of
+    /// state (the network, RNGs, aggregation buffers) is created inside
+    /// this call, so concurrent callers — the `ParallelUtility` fan-out —
+    /// share only the immutable datasets and configuration.
     fn eval(&self, s: Coalition) -> f64 {
         let mut net = train_coalition(
             &self.spec,
@@ -71,6 +75,15 @@ impl Utility for FlUtility {
         net.accuracy(&self.test)
     }
 }
+
+/// Compile-time guarantee that the FL utilities stay safe to share across
+/// the parallel evaluation engine's threads: training must keep all
+/// mutable state call-local (no interior mutability in these types).
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<FlUtility>();
+    assert_sync_send::<GbdtUtility>();
+};
 
 /// Pooled-training GBDT utility: `U(S)` trains a fresh GBDT on
 /// `D_S = ∪_{i∈S} D_i` and returns test accuracy.
@@ -116,10 +129,7 @@ impl Utility for GbdtUtility {
             Some(ds) if !ds.is_empty() => ds,
             // No data: constant model at the positive rate prior.
             _ => {
-                let model = Gbdt::train(
-                    &Dataset::empty(self.test.n_features(), 2),
-                    &self.params,
-                );
+                let model = Gbdt::train(&Dataset::empty(self.test.n_features(), 2), &self.params);
                 return model.accuracy(&self.test);
             }
         };
@@ -141,7 +151,12 @@ mod tests {
         let (train, test) = gen.generate_split(60 * n_clients, 120, 2);
         let mut rng = StdRng::seed_from_u64(3);
         let clients = SyntheticSetup::SameSizeSameDist.partition(&train, n_clients, &mut rng);
-        FlUtility::new(clients, test, ModelSpec::default_mlp(), FedAvgConfig::default())
+        FlUtility::new(
+            clients,
+            test,
+            ModelSpec::default_mlp(),
+            FedAvgConfig::default(),
+        )
     }
 
     #[test]
@@ -164,6 +179,22 @@ mod tests {
         assert_eq!(u.stats().evaluations, 1);
         // Direct (uncached) evaluation agrees.
         assert_eq!(u.inner().eval(s), a);
+    }
+
+    #[test]
+    fn parallel_fl_evaluation_is_bit_identical_to_serial() {
+        use fedval_core::coalition::all_subsets;
+        use fedval_core::utility::ParallelUtility;
+        // Real FedAvg trainings fanned out across threads must reproduce
+        // the serial values exactly (per-coalition determinism makes the
+        // result independent of scheduling).
+        let serial = mlp_utility(3);
+        let coalitions: Vec<Coalition> = all_subsets(3).collect();
+        let expected = serial.eval_batch(&coalitions);
+        for threads in [2usize, 4] {
+            let par = ParallelUtility::with_num_threads(mlp_utility(3), threads);
+            assert_eq!(par.eval_batch(&coalitions), expected, "threads={threads}");
+        }
     }
 
     #[test]

@@ -179,12 +179,8 @@ mod tests {
         let acc = model.accuracy(&test);
         // Ground truth has ~5% label noise plus intrinsic overlap; anything
         // clearly above the majority class rate demonstrates learning.
-        let majority = test
-            .class_distribution()
-            .into_iter()
-            .max()
-            .unwrap() as f64
-            / test.n_samples() as f64;
+        let majority =
+            test.class_distribution().into_iter().max().unwrap() as f64 / test.n_samples() as f64;
         assert!(
             acc > majority + 0.05,
             "accuracy {acc} vs majority rate {majority}"

@@ -213,7 +213,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    at = if row[feature] <= threshold { left } else { right };
+                    at = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }

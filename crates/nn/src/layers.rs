@@ -8,7 +8,7 @@
 
 use rand::Rng;
 
-use crate::linalg::{matmul, matmul_a_bt, matmul_at_b_accum};
+use crate::linalg::{matmul, matmul_a_bt_bias, matmul_at_b_accum};
 
 /// A differentiable layer processing batches of flattened samples.
 pub trait Layer: Send {
@@ -93,13 +93,18 @@ impl Layer for Dense {
         self.cached_input.clear();
         self.cached_input.extend_from_slice(input);
         let mut out = vec![0.0; batch * self.out_len];
-        // out = input(batch×in) · Wᵀ(in×out)
-        matmul_a_bt(input, &self.w, batch, self.in_len, self.out_len, &mut out);
-        for row in out.chunks_exact_mut(self.out_len) {
-            for (o, &bv) in row.iter_mut().zip(&self.b) {
-                *o += bv;
-            }
-        }
+        // out = input(batch×in) · Wᵀ(in×out) + b, bias fused into the
+        // kernel's write-back instead of a second pass over `out`.
+        matmul_a_bt_bias(
+            input,
+            &self.w,
+            &self.b,
+            batch,
+            self.in_len,
+            self.out_len,
+            &mut out,
+            None,
+        );
         out
     }
 
@@ -162,6 +167,91 @@ impl Layer for Dense {
         self.w.copy_from_slice(w);
         self.b.copy_from_slice(b);
         *src = rest;
+    }
+}
+
+/// Fused `ReLU(x·Wᵀ + b)` layer: the matmul kernel applies bias and ReLU
+/// in its accumulator write-back and records the activation mask in the
+/// same pass, so the hidden-layer forward touches the output exactly once
+/// (a plain `Dense` + `Relu` pair traverses it three times and allocates
+/// an intermediate activation buffer per step).
+///
+/// Bit-identical to `Dense` followed by `Relu`: parameters, their flat
+/// serialisation order (FedAvg's aggregation unit) and all forward/backward
+/// values are unchanged — only the traversals are fused.
+pub struct DenseRelu {
+    dense: Dense,
+    mask: Vec<bool>,
+}
+
+impl DenseRelu {
+    pub fn new(in_len: usize, out_len: usize, rng: &mut impl Rng) -> Self {
+        DenseRelu {
+            dense: Dense::new(in_len, out_len, rng),
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for DenseRelu {
+    fn in_len(&self) -> usize {
+        self.dense.in_len
+    }
+    fn out_len(&self) -> usize {
+        self.dense.out_len
+    }
+
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let d = &mut self.dense;
+        assert_eq!(input.len(), batch * d.in_len);
+        d.cached_input.clear();
+        d.cached_input.extend_from_slice(input);
+        self.mask.clear();
+        let mut out = vec![0.0; batch * d.out_len];
+        matmul_a_bt_bias(
+            input,
+            &d.w,
+            &d.b,
+            batch,
+            d.in_len,
+            d.out_len,
+            &mut out,
+            Some(&mut self.mask),
+        );
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(grad_out.len(), batch * self.dense.out_len);
+        // Gate the incoming gradient through the recorded ReLU mask, then
+        // run the dense backward on the gated signal — exactly what the
+        // separate Relu → Dense backward pair computes.
+        let gated: Vec<f32> = grad_out
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &keep)| if keep { g } else { 0.0 })
+            .collect();
+        self.dense.backward(&gated, batch)
+    }
+
+    fn zero_grads(&mut self) {
+        self.dense.zero_grads();
+    }
+
+    fn sgd_step(&mut self, lr: f32) {
+        self.dense.sgd_step(lr);
+    }
+
+    fn param_count(&self) -> usize {
+        self.dense.param_count()
+    }
+
+    fn write_params(&self, out: &mut Vec<f32>) {
+        self.dense.write_params(out);
+    }
+
+    fn read_params(&mut self, src: &mut &[f32]) {
+        self.dense.read_params(src);
     }
 }
 
@@ -636,6 +726,48 @@ mod tests {
         expect[8] = 1.0; // 5.0
         expect[15] = 1.0; // 9.0
         assert_eq!(grad, expect);
+    }
+
+    #[test]
+    fn dense_relu_is_bit_identical_to_dense_then_relu() {
+        // Same RNG stream ⇒ same initial parameters as a Dense layer.
+        let mut fused = DenseRelu::new(5, 7, &mut StdRng::seed_from_u64(21));
+        let mut dense = Dense::new(5, 7, &mut StdRng::seed_from_u64(21));
+        let mut relu = Relu::new(7);
+        let mut fused_params = Vec::new();
+        fused.write_params(&mut fused_params);
+        let mut dense_params = Vec::new();
+        dense.write_params(&mut dense_params);
+        assert_eq!(fused_params, dense_params);
+
+        let mut rng = StdRng::seed_from_u64(22);
+        for step in 0..5 {
+            let batch = 3usize;
+            let input: Vec<f32> = (0..batch * 5)
+                .map(|_| rng.random_range(-1.0..1.0f32))
+                .collect();
+            // Forward passes agree exactly.
+            let f_out = fused.forward(&input, batch);
+            let d_out = relu.forward(&dense.forward(&input, batch), batch);
+            assert_eq!(f_out, d_out, "forward step {step}");
+            // Backward passes agree exactly (arbitrary upstream gradient).
+            let grad: Vec<f32> = (0..batch * 7)
+                .map(|_| rng.random_range(-1.0..1.0f32))
+                .collect();
+            fused.zero_grads();
+            dense.zero_grads();
+            let f_gin = fused.backward(&grad, batch);
+            let d_gin = dense.backward(&relu.backward(&grad, batch), batch);
+            assert_eq!(f_gin, d_gin, "backward step {step}");
+            // And so do the SGD updates.
+            fused.sgd_step(0.05);
+            dense.sgd_step(0.05);
+            let mut fp = Vec::new();
+            fused.write_params(&mut fp);
+            let mut dp = Vec::new();
+            dense.write_params(&mut dp);
+            assert_eq!(fp, dp, "params step {step}");
+        }
     }
 
     #[test]

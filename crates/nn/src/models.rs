@@ -4,19 +4,22 @@
 //!
 //! The XGBoost family lives in `fedval-gbdt`.
 
-use crate::layers::{Conv2d, Dense, MaxPool2, Relu};
+use crate::layers::{Conv2d, Dense, DenseRelu, MaxPool2, Relu};
 use crate::network::{init_rng, Network};
 
 /// Multi-layer perceptron: `input → hidden₁ → … → classes` with ReLU
 /// activations between dense layers.
+///
+/// Hidden layers use the fused [`DenseRelu`] (bias + activation applied in
+/// the matmul write-back) — bit-identical to a `Dense` + `Relu` pair, one
+/// fewer traversal and allocation per hidden layer per SGD step.
 pub fn mlp(input: usize, hidden: &[usize], classes: usize, seed: u64) -> Network {
     assert!(input > 0 && classes > 0);
     let mut rng = init_rng(seed);
     let mut layers: Vec<Box<dyn crate::layers::Layer>> = Vec::new();
     let mut prev = input;
     for &h in hidden {
-        layers.push(Box::new(Dense::new(prev, h, &mut rng)));
-        layers.push(Box::new(Relu::new(h)));
+        layers.push(Box::new(DenseRelu::new(prev, h, &mut rng)));
         prev = h;
     }
     layers.push(Box::new(Dense::new(prev, classes, &mut rng)));
@@ -34,7 +37,10 @@ pub fn default_mlp(input: usize, classes: usize, seed: u64) -> Network {
 ///
 /// Requires `side` divisible by 4 (two pooling stages).
 pub fn cnn(side: usize, classes: usize, seed: u64) -> Network {
-    assert!(side % 4 == 0 && side >= 4, "side must be a multiple of 4");
+    assert!(
+        side.is_multiple_of(4) && side >= 4,
+        "side must be a multiple of 4"
+    );
     let mut rng = init_rng(seed);
     let c1 = 6usize;
     let c2 = 12usize;
@@ -55,7 +61,10 @@ pub fn cnn(side: usize, classes: usize, seed: u64) -> Network {
 /// Linear softmax model (multinomial logistic regression).
 pub fn linear(input: usize, classes: usize, seed: u64) -> Network {
     let mut rng = init_rng(seed);
-    Network::new(vec![Box::new(Dense::new(input, classes, &mut rng))], classes)
+    Network::new(
+        vec![Box::new(Dense::new(input, classes, &mut rng))],
+        classes,
+    )
 }
 
 #[cfg(test)]

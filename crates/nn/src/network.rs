@@ -351,7 +351,11 @@ mod tests {
         assert_eq!(grad.len(), net.param_count());
         // Take a small step against the gradient: loss must decrease.
         let params = net.params();
-        let stepped: Vec<f32> = params.iter().zip(&grad).map(|(p, g)| p - 0.05 * g).collect();
+        let stepped: Vec<f32> = params
+            .iter()
+            .zip(&grad)
+            .map(|(p, g)| p - 0.05 * g)
+            .collect();
         net.set_params(&stepped);
         let l1 = net.mean_loss(&data);
         assert!(l1 < l0, "loss {l0} → {l1}");

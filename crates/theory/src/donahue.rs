@@ -39,7 +39,10 @@ pub fn truncated_expected_sv(
     m0: f64,
 ) -> f64 {
     assert!(k_star >= 1 && k_star <= n);
-    assert!(k_star * t > x_dim + 1, "truncation level must be determined");
+    assert!(
+        k_star * t > x_dim + 1,
+        "truncation level must be determined"
+    );
     (m0 - mu_e * x_dim as f64 / ((k_star * t) as f64 - x_dim as f64 - 1.0)) / n as f64
 }
 
@@ -96,9 +99,7 @@ mod tests {
         use fedval_core::exact::exact_mc_sv;
         use fedval_core::utility::TableUtility;
         let (n, t, mu_e, x_dim, m0) = (6usize, 40usize, 2.0, 5usize, 1.0);
-        let u = TableUtility::from_fn(n, |s| {
-            -expected_coalition_mse(mu_e, x_dim, t, s.size(), m0)
-        });
+        let u = TableUtility::from_fn(n, |s| -expected_coalition_mse(mu_e, x_dim, t, s.size(), m0));
         let phi = exact_mc_sv(&u);
         let lemma = lemma1_expected_sv(n, t, mu_e, x_dim, m0);
         for v in &phi {

@@ -288,7 +288,8 @@ mod tests {
     #[test]
     fn mae_metric_is_supported() {
         let beta = vec![1.0, 1.0];
-        let u = LinRegUtility::synthetic(&beta, &[25; 4], 300, 0.4, 6).with_metric(ErrorMetric::NegMae);
+        let u =
+            LinRegUtility::synthetic(&beta, &[25; 4], 300, 0.4, 6).with_metric(ErrorMetric::NegMae);
         let v = u.eval(Coalition::full(4));
         assert!(v < 0.0 && v > -10.0);
     }

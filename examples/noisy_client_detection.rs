@@ -18,8 +18,8 @@ fn main() {
     let gen = MnistLike::new(77);
     let (train, test) = gen.generate_split(100 * n, 400, 3);
     let mut rng = StdRng::seed_from_u64(4);
-    let clients = SyntheticSetup::SameSizeNoisyLabel { max_rate: 0.2 }
-        .partition(&train, n, &mut rng);
+    let clients =
+        SyntheticSetup::SameSizeNoisyLabel { max_rate: 0.2 }.partition(&train, n, &mut rng);
 
     let utility = FlUtility::new(
         clients,
@@ -64,8 +64,5 @@ fn main() {
         e[0] > e[n - 1],
         a[0] > a[n - 1]
     );
-    println!(
-        "rank agreement (Kendall τ) = {:.2}",
-        kendall_tau(a, e)
-    );
+    println!("rank agreement (Kendall τ) = {:.2}", kendall_tau(a, e));
 }

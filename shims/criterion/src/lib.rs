@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset used by `fedval-bench`'s micro-benchmarks —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — with a simple
+//! warmup-then-measure loop instead of criterion's full statistical
+//! machinery. Reports mean ± spread over a fixed number of measurement
+//! batches on stdout.
+//!
+//! `FEDVAL_BENCH_MS=<millis>` bounds the measurement time per benchmark
+//! (default 300 ms), keeping `cargo bench` usable on small machines.
+//!
+//! To migrate to the real crate: delete the `criterion` entry under
+//! `[workspace.dependencies]`; the bench sources compile unchanged.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement-time budget per benchmark.
+fn budget() -> Duration {
+    let ms = std::env::var("FEDVAL_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Identifier for a parameterised benchmark, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    /// (iterations, total elapsed) accumulated by `iter`.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly: a short warmup, then timed batches until
+    /// the measurement budget is spent.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup + calibration: find an iteration count that takes ≥ ~1 ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measurement: repeat batches until the budget is exhausted.
+        let budget = budget();
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while total < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.result = Some((iters, total));
+    }
+}
+
+fn fmt_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    match b.result {
+        Some((iters, total)) if iters > 0 => {
+            let per_iter = total.as_nanos() as f64 / iters as f64;
+            println!(
+                "bench {name:<48} {:>12}/iter ({iters} iters)",
+                fmt_time(per_iter)
+            );
+        }
+        _ => println!("bench {name:<48} (no iterations recorded)"),
+    }
+}
+
+/// Top-level handle mirroring `criterion::Criterion` (subset).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        run_one(&name, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a runner function that
+/// invokes each benchmark function with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the `main` of a
+/// `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        std::env::set_var("FEDVAL_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("shim/self_test", |b| b.iter(|| black_box(3u64) * 7));
+        std::env::remove_var("FEDVAL_BENCH_MS");
+    }
+
+    #[test]
+    fn group_bench_with_input() {
+        std::env::set_var("FEDVAL_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_group");
+        for n in [4u64, 8] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        g.finish();
+        std::env::remove_var("FEDVAL_BENCH_MS");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the rayon API subset the workspace uses on top of `std::thread::scope`:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` (order-preserving);
+//! * `slice.par_iter().map(f).for_each(g)` / `.sum()`;
+//! * [`ThreadPoolBuilder`] → [`ThreadPool::install`] to pin the degree of
+//!   parallelism for a scope (used by the determinism tests to compare
+//!   1-, 2- and N-thread runs);
+//! * [`current_num_threads`].
+//!
+//! Unlike real rayon there is no work stealing: each parallel call splits
+//! its input into `current_num_threads()` contiguous chunks, one OS thread
+//! per chunk. For the workspace's workloads — batches of coalition
+//! evaluations whose per-item cost is roughly uniform within a batch — a
+//! static split loses little to stealing, and order-preserving `collect`
+//! keeps results position-stable, which the bit-identical determinism
+//! guarantee relies on.
+//!
+//! To migrate to the real crate: delete the `rayon` entry under
+//! `[workspace.dependencies]`; the call sites compile unchanged.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Parallelism override installed by [`ThreadPool::install`]; 0 means
+    /// "use the machine default".
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel calls on this thread will fan out to.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` (subset).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; construction cannot fail
+/// in this shim, the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` keeps the machine default, as in real rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A fixed degree of parallelism; [`ThreadPool::install`] scopes it onto
+/// the calling thread (this shim spawns threads per call, so "pool" is a
+/// policy, not a set of live workers).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with parallel calls fanning out to this pool's thread
+    /// count. Restores the previous setting afterwards (panic-safe).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED_THREADS.with(|t| t.replace(self.num_threads)));
+        op()
+    }
+}
+
+/// Order-preserving parallel map over a slice: splits into
+/// `current_num_threads()` contiguous chunks and maps each on its own
+/// scoped thread.
+fn par_map_slice<'a, T: Sync, R: Send, F>(slice: &'a [T], f: &F) -> Vec<R>
+where
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = current_num_threads().min(slice.len().max(1));
+    if threads <= 1 || slice.len() <= 1 {
+        return slice.iter().map(f).collect();
+    }
+    let chunk_len = slice.len().div_ceil(threads);
+    let mut pieces: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slice
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            // A panic in a worker propagates to the caller, like rayon.
+            pieces.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+    });
+    let mut out = Vec::with_capacity(slice.len());
+    for piece in pieces {
+        out.extend(piece);
+    }
+    out
+}
+
+/// Parallel iterator over `&[T]` (entry point of the `par_iter` chain).
+pub struct SliceParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> SliceParIter<'a, T> {
+    pub fn map<R: Send, F: Fn(&'a T) -> R + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let _ = self.map(&f).run();
+    }
+}
+
+/// The `.map(f)` stage of a parallel slice iterator.
+pub struct ParMap<'a, T: Sync, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    fn run(self) -> Vec<R> {
+        par_map_slice(self.slice, &self.f)
+    }
+
+    /// Order-preserving collect. `C: From<Vec<R>>` covers the
+    /// `collect::<Vec<_>>()` form used throughout the workspace.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        for r in self.run() {
+            g(r);
+        }
+    }
+
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+pub mod iter {
+    use super::SliceParIter;
+
+    /// `par_iter()` on `&self` collections (subset of
+    /// `rayon::iter::IntoParallelRefIterator`).
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Sync + 'a;
+        fn par_iter(&'a self) -> SliceParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> SliceParIter<'a, T> {
+            SliceParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> SliceParIter<'a, T> {
+            SliceParIter { slice: self }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside, "restored after install");
+    }
+
+    #[test]
+    fn single_thread_pool_still_maps_everything() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let v: Vec<i64> = (0..100).collect();
+        let s: i64 = pool.install(|| v.par_iter().map(|&x| x).sum());
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let v: Vec<u64> = (0..512).collect();
+        let expect: Vec<u64> = v.iter().map(|&x| x.wrapping_mul(x)).collect();
+        for n in [1usize, 2, 4, 7] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let got: Vec<u64> = pool.install(|| v.par_iter().map(|&x| x.wrapping_mul(x)).collect());
+            assert_eq!(got, expect, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [42u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![43]);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..257).collect();
+        v.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+}

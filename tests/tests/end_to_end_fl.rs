@@ -36,22 +36,34 @@ fn sampling_estimators_approach_exact_on_real_fl() {
     let utility = CachedUtility::new(problem(4, 501));
     let exact = exact_mc_sv(&utility);
     let norm: f64 = exact.iter().map(|v| v * v).sum::<f64>().sqrt();
-    assert!(norm > 0.05, "training produced a degenerate game: {exact:?}");
+    assert!(
+        norm > 0.05,
+        "training produced a degenerate game: {exact:?}"
+    );
 
     // Each estimator at a generous budget must land within a loose but
     // meaningful tolerance of the exact values (cache is shared, so no
     // retraining happens).
     let mut rng = StdRng::seed_from_u64(7);
     let ipss = ipss_values(&utility, &IpssConfig::new(16), &mut rng);
-    assert!(l2_relative_error(&ipss, &exact) < 0.45, "IPSS: {ipss:?} vs {exact:?}");
+    assert!(
+        l2_relative_error(&ipss, &exact) < 0.45,
+        "IPSS: {ipss:?} vs {exact:?}"
+    );
 
     let mut rng = StdRng::seed_from_u64(8);
     let tmc = extended_tmc(&utility, &TmcConfig::new(60).with_tolerance(0.0), &mut rng);
-    assert!(l2_relative_error(&tmc, &exact) < 0.45, "TMC: {tmc:?} vs {exact:?}");
+    assert!(
+        l2_relative_error(&tmc, &exact) < 0.45,
+        "TMC: {tmc:?} vs {exact:?}"
+    );
 
     let mut rng = StdRng::seed_from_u64(9);
     let cc = cc_shapley(&utility, &CcShapConfig::new(200), &mut rng);
-    assert!(l2_relative_error(&cc, &exact) < 0.45, "CC: {cc:?} vs {exact:?}");
+    assert!(
+        l2_relative_error(&cc, &exact) < 0.45,
+        "CC: {cc:?} vs {exact:?}"
+    );
 }
 
 #[test]

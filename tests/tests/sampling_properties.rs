@@ -1,48 +1,49 @@
 //! Property tests on the sampling machinery: balanced designs, stratified
 //! configurations, IPSS budget accounting — the plumbing every estimator
 //! stands on.
+//!
+//! Written as explicit randomised case loops (a seeded RNG drawing 64+
+//! parameter combinations per property) because the offline build has no
+//! `proptest`; the checked properties are identical.
 
 use fedval_core::coalition::{binom_u128, subsets_up_to, Coalition};
 use fedval_core::ipss::{compute_k_star, ipss, IpssConfig};
 use fedval_core::prelude::*;
-use fedval_core::sampling::{
-    balanced_subsets_of_size, coverage_counts, distinct_subsets_of_size,
-};
-use proptest::prelude::*;
+use fedval_core::sampling::{balanced_subsets_of_size, coverage_counts, distinct_subsets_of_size};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn distinct_subsets_are_valid(
-        n in 2usize..14,
-        k in 1usize..6,
-        count in 1usize..40,
-        seed in 0u64..10_000,
-    ) {
-        let k = k.min(n);
+#[test]
+fn distinct_subsets_are_valid() {
+    let mut driver = StdRng::seed_from_u64(0xD157);
+    for _ in 0..CASES {
+        let n = driver.random_range(2usize..14);
+        let k = driver.random_range(1usize..6).min(n);
+        let count = driver.random_range(1usize..40);
+        let seed = driver.random_range(0u64..10_000);
         let mut rng = StdRng::seed_from_u64(seed);
         let subs = distinct_subsets_of_size(n, k, count, &mut rng);
         let expected = (count as u128).min(binom_u128(n, k)) as usize;
-        prop_assert_eq!(subs.len(), expected);
+        assert_eq!(subs.len(), expected, "n={n} k={k} count={count}");
         let mut seen = std::collections::HashSet::new();
         for s in &subs {
-            prop_assert_eq!(s.size(), k);
-            prop_assert!(s.is_subset_of(Coalition::full(n)));
-            prop_assert!(seen.insert(s.0), "duplicate coalition");
+            assert_eq!(s.size(), k);
+            assert!(s.is_subset_of(Coalition::full(n)));
+            assert!(seen.insert(s.0), "duplicate coalition");
         }
     }
+}
 
-    #[test]
-    fn balanced_designs_have_unit_coverage_spread(
-        n in 2usize..16,
-        k in 1usize..5,
-        count in 1usize..50,
-        seed in 0u64..10_000,
-    ) {
-        let k = k.min(n);
+#[test]
+fn balanced_designs_have_unit_coverage_spread() {
+    let mut driver = StdRng::seed_from_u64(0xBA1A);
+    for _ in 0..CASES {
+        let n = driver.random_range(2usize..16);
+        let k = driver.random_range(1usize..5).min(n);
+        let count = driver.random_range(1usize..50);
+        let seed = driver.random_range(0u64..10_000);
         let mut rng = StdRng::seed_from_u64(seed);
         let subs = balanced_subsets_of_size(n, k, count, &mut rng);
         if (subs.len() as u128) < binom_u128(n, k) {
@@ -50,55 +51,71 @@ proptest! {
             let cov = coverage_counts(n, &subs);
             let max = *cov.iter().max().unwrap();
             let min = *cov.iter().min().unwrap();
-            prop_assert!(max - min <= 1, "coverage {cov:?}");
+            assert!(
+                max - min <= 1,
+                "coverage {cov:?} (n={n} k={k} count={count})"
+            );
         }
     }
+}
 
-    #[test]
-    fn k_star_is_maximal(n in 1usize..20, gamma in 1usize..5_000) {
+#[test]
+fn k_star_is_maximal() {
+    let mut driver = StdRng::seed_from_u64(0x5AEE);
+    for _ in 0..CASES {
+        let n = driver.random_range(1usize..20);
+        let gamma = driver.random_range(1usize..5_000);
         let k = compute_k_star(n, gamma).unwrap();
-        prop_assert!(subsets_up_to(n, k) <= gamma as u128);
+        assert!(subsets_up_to(n, k) <= gamma as u128);
         if k < n {
-            prop_assert!(subsets_up_to(n, k + 1) > gamma as u128);
+            assert!(subsets_up_to(n, k + 1) > gamma as u128);
         }
     }
+}
 
-    #[test]
-    fn ipss_never_exceeds_budget(
-        n in 2usize..10,
-        gamma in 2usize..200,
-        seed in 0u64..10_000,
-    ) {
-        prop_assume!(gamma >= 1);
+#[test]
+fn ipss_never_exceeds_budget() {
+    let mut driver = StdRng::seed_from_u64(0x1B55);
+    for _ in 0..CASES {
+        let n = driver.random_range(2usize..10);
+        let gamma = driver.random_range(2usize..200);
+        let seed = driver.random_range(0u64..10_000);
         let u = CachedUtility::new(HashUtility { n, seed });
         let mut rng = StdRng::seed_from_u64(seed ^ 0x1b);
         let out = ipss(&u, &IpssConfig::new(gamma), &mut rng);
-        prop_assert!(u.stats().evaluations <= gamma.min(1 << n));
-        prop_assert_eq!(out.values.len(), n);
-        prop_assert!(out.values.iter().all(|v| v.is_finite()));
+        assert!(u.stats().evaluations <= gamma.min(1 << n));
+        assert_eq!(out.values.len(), n);
+        assert!(out.values.iter().all(|v| v.is_finite()));
     }
+}
 
-    #[test]
-    fn stratified_uniform_budget_sums(n in 1usize..32, gamma in 0usize..500) {
+#[test]
+fn stratified_uniform_budget_sums() {
+    let mut driver = StdRng::seed_from_u64(0x57A7);
+    for _ in 0..CASES {
+        let n = driver.random_range(1usize..32);
+        let gamma = driver.random_range(0usize..500);
         let cfg = StratifiedConfig::uniform(n, gamma);
-        prop_assert_eq!(cfg.total_rounds(), gamma);
-        prop_assert_eq!(cfg.rounds_per_stratum.len(), n);
+        assert_eq!(cfg.total_rounds(), gamma);
+        assert_eq!(cfg.rounds_per_stratum.len(), n);
         // Allocation is as even as possible: max − min ≤ 1.
         let max = cfg.rounds_per_stratum.iter().max().unwrap();
         let min = cfg.rounds_per_stratum.iter().min().unwrap();
-        prop_assert!(max - min <= 1);
+        assert!(max - min <= 1);
     }
+}
 
-    #[test]
-    fn property_error_is_scale_invariant(
-        scale in 0.1f64..100.0,
-        values in prop::collection::vec(-1.0f64..1.0, 6),
-    ) {
+#[test]
+fn property_error_is_scale_invariant() {
+    let mut driver = StdRng::seed_from_u64(0x5CA1);
+    for _ in 0..CASES {
+        let scale = driver.random_range(0.1f64..100.0);
+        let values: Vec<f64> = (0..6).map(|_| driver.random_range(-1.0f64..1.0)).collect();
         let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
         let a = property_error(&values, &[0], &[(1, 2)]);
         let b = property_error(&scaled, &[0], &[(1, 2)]);
         if a.is_finite() && b.is_finite() {
-            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
     }
 }
