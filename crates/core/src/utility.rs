@@ -64,23 +64,48 @@ impl<U: Utility + ?Sized> Utility for &U {
 
 /// Adapter that fans a batch evaluation out across a rayon thread pool.
 ///
-/// `eval` stays serial (one coalition cannot be split); `eval_batch` maps
-/// the batch with an order-preserving parallel iterator, so results are
-/// positionally — and, by utility determinism, bit- — identical to the
-/// serial path at any thread count.
+/// `eval` stays serial (one coalition cannot be split); `eval_batch`
+/// size-sorts the batch (by `|S|`, ties by mask), splits it into
+/// sub-batches of at most [`ParallelUtility::chunk`] coalitions — shrunk
+/// when the batch is small so every thread still gets work — and maps
+/// those with an order-preserving parallel iterator, forwarding each
+/// sub-batch to the inner utility's own `eval_batch`. Size-sorting at the
+/// fan-out point does double duty: sub-batches have similar per-item cost
+/// (τ grows with `|S|`, so the shim's steal loop stays balanced), and an
+/// inner utility with a batched fast path (the FL utility's lock-step
+/// lane blocks) receives blocks of similarly-sized coalitions, which is
+/// what makes its shared-trajectory coalescing bite. For plain utilities
+/// the default `eval_batch` degenerates to the per-coalition map this
+/// adapter used to do. Either way results are positionally — and, by
+/// utility determinism, bit- — identical to the serial path at any
+/// thread count and chunk size.
 ///
 /// Typical composition is `CachedUtility::new(ParallelUtility::new(u))`:
-/// the cache dedups and forwards only the distinct misses, and this adapter
-/// trains them concurrently.
+/// the cache dedups and forwards only the distinct misses, this adapter
+/// spreads sub-batches across cores, and the inner utility trains each
+/// sub-batch in lock-step.
 pub struct ParallelUtility<U> {
     inner: U,
     pool: Option<rayon::ThreadPool>,
+    chunk: usize,
 }
+
+/// Default sub-batch size for [`ParallelUtility::eval_batch`] — aligned
+/// with the FL utility's default lane-block size (`DEFAULT_LANE_BLOCK` in
+/// `fedval-fl`) so one stolen work unit is one lock-step training block.
+/// If you raise the inner utility's lane block, raise this too with
+/// [`ParallelUtility::with_chunk`], or each block gets split before the
+/// inner utility sees it.
+pub const DEFAULT_PAR_CHUNK: usize = 8;
 
 impl<U: Utility> ParallelUtility<U> {
     /// Fan out to rayon's current thread count (all cores by default).
     pub fn new(inner: U) -> Self {
-        ParallelUtility { inner, pool: None }
+        ParallelUtility {
+            inner,
+            pool: None,
+            chunk: DEFAULT_PAR_CHUNK,
+        }
     }
 
     /// Fan out to exactly `threads` threads (1 = serial; used by the
@@ -94,7 +119,15 @@ impl<U: Utility> ParallelUtility<U> {
         ParallelUtility {
             inner,
             pool: Some(pool),
+            chunk: DEFAULT_PAR_CHUNK,
         }
+    }
+
+    /// Set the sub-batch size handed to the inner utility per work unit.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk >= 1);
+        self.chunk = chunk;
+        self
     }
 
     /// Access the wrapped utility.
@@ -115,10 +148,33 @@ impl<U: Utility> Utility for ParallelUtility<U> {
     fn eval_batch(&self, coalitions: &[Coalition]) -> Vec<f64> {
         use rayon::prelude::*;
         let run = || {
-            coalitions
+            // Size-sort so sub-batches group similarly-sized coalitions
+            // (deterministic total order: |S|, then mask).
+            let mut order: Vec<usize> = (0..coalitions.len()).collect();
+            order.sort_by_key(|&i| (coalitions[i].size(), coalitions[i].0));
+            let sorted: Vec<Coalition> = order.iter().map(|&i| coalitions[i]).collect();
+            // Shrink the chunk when the batch would under-fill the pool:
+            // a batch of 8 on 8 threads runs as 8 singleton sub-batches,
+            // not one serial sub-batch of 8.
+            let threads = rayon::current_num_threads().max(1);
+            let chunk = self.chunk.min(coalitions.len().div_ceil(threads)).max(1);
+            let chunks: Vec<&[Coalition]> = sorted.chunks(chunk).collect();
+            let per_chunk: Vec<Vec<f64>> = chunks
                 .par_iter()
-                .map(|&s| self.inner.eval(s))
-                .collect::<Vec<f64>>()
+                .map(|sub| self.inner.eval_batch(sub))
+                .collect();
+            let mut out = vec![0.0f64; coalitions.len()];
+            let mut scattered = 0usize;
+            for (&pos, v) in order.iter().zip(per_chunk.into_iter().flatten()) {
+                out[pos] = v;
+                scattered += 1;
+            }
+            assert_eq!(
+                scattered,
+                coalitions.len(),
+                "inner eval_batch returned fewer values than coalitions"
+            );
+            out
         };
         match &self.pool {
             Some(pool) => pool.install(run),

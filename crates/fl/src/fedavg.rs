@@ -1,25 +1,44 @@
-//! The FedAvg training loop (Def. 1) over an arbitrary coalition of
-//! clients, with optional recording of the per-round per-client updates
-//! that the gradient-based baselines consume.
+//! The FedAvg training loop (Def. 1) over arbitrary coalitions of
+//! clients: a lock-step engine ([`train_coalitions`]) that advances `B`
+//! coalition models through one pass over the client data, and the solo
+//! reference loop ([`train_coalition`]) it is bit-identical to, with
+//! optional recording of the per-round per-client updates that the
+//! gradient-based baselines consume.
 //!
 //! The paper's implementation simulates data providers as separate
 //! processes speaking gRPC; the transport does not affect valuation, so
 //! clients here run in-process with the same message flow: broadcast
 //! global parameters → local SGD → upload update → weighted aggregation
 //! (substitution documented in DESIGN.md §2).
+//!
+//! **Determinism contract.** Every coalition's trajectory is a pure
+//! function of `(spec, clients, coalition, cfg)`: model initialisation is
+//! seeded by `init_seed(cfg.seed)`, client `i`'s round-`r` data order by
+//! `local_seed(cfg.seed, r, i)` and partial participation by
+//! `local_seed(cfg.seed, r, ·)` — none of them by *which other coalitions
+//! train alongside*. The lock-step engine therefore reproduces each
+//! lane's solo run bit-for-bit (asserted in
+//! `tests/tests/lockstep_equivalence.rs`), which keeps memoisation sound
+//! and batched valuation results independent of lane grouping.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fedval_core::coalition::Coalition;
 use fedval_data::Dataset;
-use fedval_nn::Network;
+use fedval_nn::{MultiNetwork, Network};
 
 use crate::config::{init_seed, local_seed, FedAvgConfig, FlAlgorithm};
 use crate::history::TrainingHistory;
 use crate::model::ModelSpec;
 
 /// Train an FL model on the datasets of `coalition` with FedAvg.
+///
+/// This is the solo *reference path*: one [`Network`] advanced through the
+/// round loop, exactly as PR 1 shipped it. The lock-step engine
+/// ([`train_coalitions`]) must reproduce it bit-for-bit per lane — keeping
+/// this path alive is what makes that contract testable (and it still
+/// serves the history-recording entry point).
 ///
 /// Clients with empty datasets are skipped (they cannot train); a coalition
 /// with no data returns the initialised model, whose utility serves as
@@ -85,26 +104,12 @@ fn run_fedavg(
         "participation must be in (0, 1]"
     );
     let mut aggregate = vec![0.0f32; global.param_count()];
+    // Participant scratch, allocated once and refilled per round.
+    let mut pool: Vec<usize> = Vec::with_capacity(members.len());
 
     for round in 0..cfg.rounds {
-        // Partial participation: the server samples a fraction of the
-        // coalition's clients each round (all of them at 1.0, the paper's
-        // cross-silo setting). Seeded by (seed, round) only, so the same
-        // round uses consistent sub-sampling across coalitions.
-        let participants: Vec<usize> = if cfg.participation >= 1.0 {
-            members.clone()
-        } else {
-            let k = ((members.len() as f32 * cfg.participation).ceil() as usize)
-                .clamp(1, members.len());
-            let mut rng = StdRng::seed_from_u64(local_seed(cfg.seed, round, usize::MAX - 1));
-            let mut pool = members.clone();
-            for j in 0..k {
-                let pick = rand::Rng::random_range(&mut rng, j..pool.len());
-                pool.swap(j, pick);
-            }
-            pool.truncate(k);
-            pool
-        };
+        fill_participants(&members, cfg, round, &mut pool);
+        let participants: &[usize] = &pool;
         let total: usize = participants.iter().map(|&i| clients[i].n_samples()).sum();
         let base = global.params();
         aggregate.fill(0.0);
@@ -113,7 +118,7 @@ fn run_fedavg(
         } else {
             Vec::new()
         };
-        for &i in &participants {
+        for &i in participants {
             // (ii) Acts at clients: receive the global model, train on the
             // local dataset, upload the update.
             global.set_params(&base);
@@ -166,6 +171,243 @@ fn run_fedavg(
         }
     }
     global
+}
+
+/// Fill `out` with the round's participants, reusing its allocation.
+///
+/// Partial participation: the server samples `⌈|members|·participation⌉`
+/// of the coalition's clients each round (all of them at 1.0, the paper's
+/// cross-silo setting) via a partial Fisher–Yates pass seeded by
+/// `(seed, round)` only, so the same round draws the same random sequence
+/// across coalitions. The draw sequence is identical to the historical
+/// clone-and-truncate implementation — participant sequences are pinned by
+/// a regression test — but the scratch buffer makes the per-round cost
+/// allocation-free.
+fn fill_participants(members: &[usize], cfg: &FedAvgConfig, round: usize, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend_from_slice(members);
+    if cfg.participation >= 1.0 || members.is_empty() {
+        return;
+    }
+    let k = ((members.len() as f32 * cfg.participation).ceil() as usize).clamp(1, members.len());
+    let mut rng = StdRng::seed_from_u64(local_seed(cfg.seed, round, usize::MAX - 1));
+    for j in 0..k {
+        let pick = rand::Rng::random_range(&mut rng, j..out.len());
+        out.swap(j, pick);
+    }
+    out.truncate(k);
+}
+
+/// Train `B = coalitions.len()` FL models in lock-step, one parameter lane
+/// per coalition — the batched FedAvg engine.
+///
+/// Each round, every client that participates in *any* lane's coalition is
+/// visited once: its mini-batches are gathered and shuffled once (all
+/// lanes share the client's `local_seed` data-order stream, which is
+/// coalition-independent by design) and every lane containing the client
+/// advances through them via the lane-blocked kernels in
+/// `fedval_nn::linalg`. Aggregation then runs per lane over that lane's
+/// own participant order. The result is bit-identical, lane by lane, to
+/// calling [`train_coalition`] per coalition — while the data pass, the
+/// shuffle stream, the batch gathers and the layer-0 activation loads are
+/// paid once per client instead of once per coalition, and the first
+/// layer's unused input gradient is never computed.
+///
+/// Duplicate coalitions are allowed (lanes are independent); an empty
+/// batch returns no networks.
+pub fn train_coalitions(
+    spec: &ModelSpec,
+    clients: &[Dataset],
+    input: usize,
+    classes: usize,
+    coalitions: &[Coalition],
+    cfg: &FedAvgConfig,
+) -> Vec<Network> {
+    train_coalitions_params(spec, clients, input, classes, coalitions, cfg)
+        .into_iter()
+        .map(|params| {
+            let mut net = spec.build(input, classes, init_seed(cfg.seed));
+            net.set_params(&params);
+            net
+        })
+        .collect()
+}
+
+/// [`train_coalitions`] returning each lane's flat parameter vector
+/// ([`Network::params`] order) instead of materialised networks — the form
+/// batched evaluators consume directly (they reload the lanes into a
+/// [`MultiNetwork`] for lock-step scoring).
+pub fn train_coalitions_params(
+    spec: &ModelSpec,
+    clients: &[Dataset],
+    input: usize,
+    classes: usize,
+    coalitions: &[Coalition],
+    cfg: &FedAvgConfig,
+) -> Vec<Vec<f32>> {
+    let n = clients.len();
+    let lanes = coalitions.len();
+    if lanes == 0 {
+        return Vec::new();
+    }
+    for &c in coalitions {
+        assert!(c.is_subset_of(Coalition::full(n)));
+    }
+    // (i) Acts at server, first iteration: one shared initialisation for
+    // every lane (same server, same seed — U(∅) stays well-defined).
+    let init = spec.build(input, classes, init_seed(cfg.seed));
+    let members: Vec<Vec<usize>> = coalitions
+        .iter()
+        .map(|c| c.members().filter(|&i| !clients[i].is_empty()).collect())
+        .collect();
+    if members.iter().any(|m: &Vec<usize>| !m.is_empty()) {
+        assert!(
+            cfg.participation > 0.0 && cfg.participation <= 1.0,
+            "participation must be in (0, 1]"
+        );
+    }
+    let mut multi = MultiNetwork::from_network(&init, lanes);
+    let p = multi.param_count();
+    // Per-lane round-start parameters (the lane's current global model).
+    let mut bases: Vec<Vec<f32>> = vec![init.params(); lanes];
+    // Scratch reused across rounds: per-lane participants, per-lane
+    // per-client deltas, the aggregation buffer and a params staging
+    // buffer.
+    let mut participants: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+    let mut deltas: Vec<Vec<Option<Vec<f32>>>> = vec![(0..n).map(|_| None).collect(); lanes];
+    let mut aggregate = vec![0.0f32; p];
+    let mut lane_buf: Vec<f32> = Vec::with_capacity(p);
+    let mut active = vec![false; lanes];
+
+    for round in 0..cfg.rounds {
+        for (l, m) in members.iter().enumerate() {
+            fill_participants(m, cfg, round, &mut participants[l]);
+        }
+        // Shared-trajectory grouping: a client's local training is a pure
+        // function of (round-start params, client data, the
+        // coalition-independent RNG stream), so lanes whose bases are
+        // bit-equal would compute *identical* updates. Partition the lanes
+        // by base equality once per round (bases are fixed until
+        // aggregation); per client, only the active lanes of each class
+        // train — one representative each, its update copied to the rest.
+        // Every lane coincides in round 0 (one shared server init), so the
+        // first round costs one local training per client per block
+        // instead of one per lane — and later rounds still coalesce
+        // duplicated or converged trajectories.
+        let mut class_of = vec![0usize; lanes];
+        let mut class_reps: Vec<usize> = Vec::new();
+        for l in 0..lanes {
+            match class_reps.iter().position(|&r| bases[r] == bases[l]) {
+                Some(c) => class_of[l] = c,
+                None => {
+                    class_of[l] = class_reps.len();
+                    class_reps.push(l);
+                }
+            }
+        }
+        // (ii) Acts at clients: visit each participating client once; all
+        // lanes that contain it train on the same gathered batches.
+        for (i, client) in clients.iter().enumerate() {
+            let mut any = false;
+            for l in 0..lanes {
+                active[l] = participants[l].contains(&i);
+                any |= active[l];
+            }
+            if !any {
+                continue;
+            }
+            // Active lanes of one base class share a group; the first
+            // active lane acts as its representative.
+            let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+            for l in 0..lanes {
+                if active[l] {
+                    match groups
+                        .iter_mut()
+                        .find(|(rep, _)| class_of[*rep] == class_of[l])
+                    {
+                        Some((_, members)) => members.push(l),
+                        None => groups.push((l, vec![l])),
+                    }
+                }
+            }
+            let mut train_mask = vec![false; lanes];
+            for (rep, _) in &groups {
+                train_mask[*rep] = true;
+                multi.set_lane_params(*rep, &bases[*rep]);
+            }
+            let mut rng = StdRng::seed_from_u64(local_seed(cfg.seed, round, i));
+            match cfg.algorithm {
+                FlAlgorithm::FedAvg => {
+                    multi.train_epochs(
+                        client,
+                        cfg.local_epochs,
+                        cfg.batch_size,
+                        cfg.lr,
+                        &mut rng,
+                        &train_mask,
+                    );
+                }
+                FlAlgorithm::FedProx { mu } => {
+                    for _ in 0..cfg.local_epochs {
+                        multi.train_epochs(
+                            client,
+                            1,
+                            cfg.batch_size,
+                            cfg.lr,
+                            &mut rng,
+                            &train_mask,
+                        );
+                        // Proximal pull towards each group's round-start
+                        // global model (identical across the group).
+                        for (rep, _) in &groups {
+                            multi.lane_params_into(*rep, &mut lane_buf);
+                            for (w, g) in lane_buf.iter_mut().zip(&bases[*rep]) {
+                                *w -= cfg.lr * mu * (*w - g);
+                            }
+                            multi.set_lane_params(*rep, &lane_buf);
+                        }
+                    }
+                }
+            }
+            // Upload: Δ = local − base, computed once per group and
+            // replicated to every lane in it (bit-equal by construction).
+            for (rep, members) in &groups {
+                multi.lane_params_into(*rep, &mut lane_buf);
+                for &l in members {
+                    let mut delta = deltas[l][i].take().unwrap_or_default();
+                    delta.clear();
+                    delta.extend(lane_buf.iter().zip(&bases[*rep]).map(|(a, b)| a - b));
+                    deltas[l][i] = Some(delta);
+                }
+            }
+        }
+        // (i) Acts at server: weighted aggregation per lane, in that
+        // lane's own participant order (the order solo aggregation adds
+        // the updates in — f32 sums are order-sensitive).
+        for l in 0..lanes {
+            if participants[l].is_empty() {
+                continue;
+            }
+            let total: usize = participants[l]
+                .iter()
+                .map(|&i| clients[i].n_samples())
+                .sum();
+            aggregate.fill(0.0);
+            for &i in &participants[l] {
+                let w = clients[i].n_samples() as f32 / total as f32;
+                let delta = deltas[l][i]
+                    .as_ref()
+                    .expect("participant trained this round");
+                for (a, d) in aggregate.iter_mut().zip(delta) {
+                    *a += w * d;
+                }
+            }
+            for (b, a) in bases[l].iter_mut().zip(&aggregate) {
+                *b += cfg.server_lr * a;
+            }
+        }
+    }
+    bases
 }
 
 #[cfg(test)]
@@ -255,6 +497,126 @@ mod tests {
             .fold(0.0f32, f32::max);
         assert!(max_diff < 1e-4, "max diff {max_diff}");
     }
+
+    #[test]
+    fn batched_training_matches_solo_per_lane() {
+        // The engine's core contract, exercised here on the default MLP
+        // with a mixed batch (duplicates, the empty coalition, the grand
+        // coalition); the cross-spec sweep lives in
+        // tests/tests/lockstep_equivalence.rs.
+        let (clients, _) = small_problem();
+        let cfg = FedAvgConfig::default();
+        let spec = ModelSpec::default_mlp();
+        let batch = [
+            Coalition::from_members([1, 3]),
+            Coalition::empty(),
+            Coalition::full(4),
+            Coalition::from_members([1, 3]),
+            Coalition::singleton(2),
+        ];
+        let nets = train_coalitions(&spec, &clients, 64, 10, &batch, &cfg);
+        assert_eq!(nets.len(), batch.len());
+        for (s, net) in batch.iter().zip(&nets) {
+            let solo = train_coalition(&spec, &clients, 64, 10, *s, &cfg);
+            assert_eq!(net.params(), solo.params(), "coalition {s:?}");
+        }
+    }
+
+    #[test]
+    fn batched_training_matches_solo_under_partial_participation_and_fedprox() {
+        let (clients, _) = small_problem();
+        for cfg in [
+            FedAvgConfig {
+                rounds: 3,
+                local_epochs: 1,
+                participation: 0.5,
+                seed: 91,
+                ..Default::default()
+            },
+            FedAvgConfig {
+                rounds: 2,
+                local_epochs: 2,
+                algorithm: FlAlgorithm::FedProx { mu: 0.3 },
+                seed: 92,
+                ..Default::default()
+            },
+        ] {
+            let spec = ModelSpec::default_mlp();
+            let batch = [
+                Coalition::full(4),
+                Coalition::from_members([0, 2]),
+                Coalition::from_members([1, 2, 3]),
+            ];
+            let nets = train_coalitions(&spec, &clients, 64, 10, &batch, &cfg);
+            for (s, net) in batch.iter().zip(&nets) {
+                let solo = train_coalition(&spec, &clients, 64, 10, *s, &cfg);
+                assert_eq!(net.params(), solo.params(), "coalition {s:?} cfg {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_no_networks() {
+        let (clients, _) = small_problem();
+        let cfg = FedAvgConfig::default();
+        let nets = train_coalitions(&ModelSpec::default_mlp(), &clients, 64, 10, &[], &cfg);
+        assert!(nets.is_empty());
+    }
+
+    #[test]
+    fn participant_sampling_matches_legacy_clone_based_draws() {
+        // The scratch-buffer sampler must replay the historical
+        // clone-and-truncate draw sequence exactly (cached utilities from
+        // earlier runs depend on it).
+        for seed in [0u64, 7, 123] {
+            for participation in [0.25f32, 0.5, 0.75] {
+                let members: Vec<usize> = vec![0, 2, 3, 5, 6, 8];
+                let cfg = FedAvgConfig {
+                    participation,
+                    seed,
+                    ..Default::default()
+                };
+                let mut scratch = Vec::new();
+                for round in 0..6 {
+                    let k = ((members.len() as f32 * participation).ceil() as usize)
+                        .clamp(1, members.len());
+                    let mut rng = StdRng::seed_from_u64(local_seed(seed, round, usize::MAX - 1));
+                    let mut pool = members.clone();
+                    for j in 0..k {
+                        let pick = rand::Rng::random_range(&mut rng, j..pool.len());
+                        pool.swap(j, pick);
+                    }
+                    pool.truncate(k);
+                    fill_participants(&members, &cfg, round, &mut scratch);
+                    assert_eq!(scratch, pool, "seed {seed} p {participation} round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn participant_sequence_is_pinned_for_fixed_seed() {
+        // Regression pin: the exact participant sequence for seed 46,
+        // participation 0.5 over members {0,1,2,3}. Any change to the seed
+        // derivation or the draw order shows up here first.
+        let members = vec![0usize, 1, 2, 3];
+        let cfg = FedAvgConfig {
+            participation: 0.5,
+            seed: 46,
+            ..Default::default()
+        };
+        let mut scratch = Vec::new();
+        let picks: Vec<Vec<usize>> = (0..4)
+            .map(|round| {
+                fill_participants(&members, &cfg, round, &mut scratch);
+                scratch.clone()
+            })
+            .collect();
+        assert_eq!(picks, PINNED_PICKS);
+    }
+
+    /// Expected participant sequence for the pinned-seed test above.
+    const PINNED_PICKS: [[usize; 2]; 4] = [[0, 2], [2, 1], [3, 1], [1, 0]];
 
     #[test]
     fn history_skips_empty_clients() {

@@ -2,9 +2,12 @@
 //!
 //! The federated-learning engine of the IPSS reproduction:
 //!
-//! * [`fedavg`] — the FedAvg loop (Def. 1) over arbitrary coalitions, with
-//!   deterministic per-coalition seeding and optional training-history
-//!   recording;
+//! * [`fedavg`] — the FedAvg loop (Def. 1) over arbitrary coalitions:
+//!   [`fedavg::train_coalitions`] trains `B` coalition models in lock-step
+//!   (one data pass, per-coalition parameter lanes, shared-trajectory
+//!   grouping) bit-identically to the solo [`fedavg::train_coalition`]
+//!   reference loop, with deterministic per-coalition seeding and optional
+//!   training-history recording;
 //! * [`utility`] — [`utility::FlUtility`] (FedAvg + neural models) and
 //!   [`utility::GbdtUtility`] (pooled XGBoost-style training), the real
 //!   `U(M_S)` behind every experiment;
@@ -23,7 +26,7 @@ pub mod model;
 pub mod utility;
 
 pub use config::{FedAvgConfig, FlAlgorithm};
-pub use fedavg::{train_coalition, train_with_history};
+pub use fedavg::{train_coalition, train_coalitions, train_coalitions_params, train_with_history};
 pub use gradient::{
     dig_fl, gtg_shapley, lambda_mr, or_valuation, DigFlConfig, GtgConfig, LambdaMrConfig,
     ReconstructedUtility,

@@ -5,13 +5,29 @@ use fedval_core::coalition::Coalition;
 use fedval_core::utility::Utility;
 use fedval_data::Dataset;
 use fedval_gbdt::{Gbdt, GbdtParams};
+use fedval_nn::MultiNetwork;
 
-use crate::config::FedAvgConfig;
-use crate::fedavg::train_coalition;
+use crate::config::{init_seed, FedAvgConfig};
+use crate::fedavg::{train_coalition, train_coalitions_params};
 use crate::model::ModelSpec;
+
+/// Default number of coalition models trained per lock-step lane block by
+/// [`FlUtility::eval_batch`]. Eight lanes amortise the shared data pass
+/// well while the per-lane parameter/activation working set stays
+/// cache-resident for the experiment-sized models. Defined as the
+/// parallel adapter's sub-batch size so one stolen work unit is one
+/// lock-step block by construction; override both together
+/// ([`FlUtility::with_lane_block`] +
+/// `fedval_core::utility::ParallelUtility::with_chunk`) when tuning.
+pub const DEFAULT_LANE_BLOCK: usize = fedval_core::utility::DEFAULT_PAR_CHUNK;
 
 /// FedAvg-trained neural utility: `U(S)` trains the [`ModelSpec`] on the
 /// coalition's datasets with FedAvg and returns test accuracy.
+///
+/// Single evaluations run the solo reference loop; batches are grouped
+/// into size-sorted lane blocks and trained in lock-step by
+/// [`train_coalitions`] — bit-identical values, one shared data pass per
+/// block.
 ///
 /// Wrap in [`fedval_core::utility::CachedUtility`] so each coalition is
 /// trained exactly once (the paper's `τ` accounting).
@@ -20,6 +36,7 @@ pub struct FlUtility {
     test: Dataset,
     spec: ModelSpec,
     cfg: FedAvgConfig,
+    lane_block: usize,
 }
 
 impl FlUtility {
@@ -34,7 +51,20 @@ impl FlUtility {
             test,
             spec,
             cfg,
+            lane_block: DEFAULT_LANE_BLOCK,
         }
+    }
+
+    /// Set the lock-step lane-block size `B` used by `eval_batch`
+    /// (`1` disables coalescing; values are identical either way).
+    pub fn with_lane_block(mut self, lane_block: usize) -> Self {
+        assert!(lane_block >= 1);
+        self.lane_block = lane_block;
+        self
+    }
+
+    pub fn lane_block(&self) -> usize {
+        self.lane_block
     }
 
     pub fn clients(&self) -> &[Dataset] {
@@ -73,6 +103,54 @@ impl Utility for FlUtility {
             &self.cfg,
         );
         net.accuracy(&self.test)
+    }
+
+    /// Lock-step batched evaluation: pending coalitions are size-sorted
+    /// (lanes in one block then share similar member sets, so most clients
+    /// a block visits are active in most of its lanes), grouped into
+    /// blocks of at most `lane_block`, and each block is trained by one
+    /// [`train_coalitions`] pass and scored with the test batches gathered
+    /// once for all lanes. Values are bit-identical to mapping
+    /// [`FlUtility::eval`] — per-lane trajectories are bit-identical to
+    /// solo runs and accuracy is a pure per-lane function — so the
+    /// determinism contract survives any grouping.
+    fn eval_batch(&self, coalitions: &[Coalition]) -> Vec<f64> {
+        if coalitions.len() <= 1 || self.lane_block == 1 {
+            return coalitions.iter().map(|&s| self.eval(s)).collect();
+        }
+        let mut order: Vec<usize> = (0..coalitions.len()).collect();
+        // Stable total order: by size, ties by mask, so block composition
+        // is deterministic regardless of input order-of-arrival.
+        order.sort_by_key(|&i| (coalitions[i].size(), coalitions[i].0));
+        let mut out = vec![0.0f64; coalitions.len()];
+        let mut block: Vec<Coalition> = Vec::with_capacity(self.lane_block);
+        let template = self.spec.build(
+            self.test.n_features(),
+            self.test.n_classes(),
+            init_seed(self.cfg.seed),
+        );
+        for positions in order.chunks(self.lane_block) {
+            block.clear();
+            block.extend(positions.iter().map(|&i| coalitions[i]));
+            let lane_params = train_coalitions_params(
+                &self.spec,
+                &self.clients,
+                self.test.n_features(),
+                self.test.n_classes(),
+                &block,
+                &self.cfg,
+            );
+            // Score all lanes against the test set in one shared pass.
+            let mut multi = MultiNetwork::from_network(&template, lane_params.len());
+            for (l, params) in lane_params.iter().enumerate() {
+                multi.set_lane_params(l, params);
+            }
+            let accs = multi.accuracy_lanes(&self.test);
+            for (&pos, acc) in positions.iter().zip(accs) {
+                out[pos] = acc;
+            }
+        }
+        out
     }
 }
 
@@ -179,6 +257,18 @@ mod tests {
         assert_eq!(u.stats().evaluations, 1);
         // Direct (uncached) evaluation agrees.
         assert_eq!(u.inner().eval(s), a);
+    }
+
+    #[test]
+    fn eval_batch_lane_blocks_match_mapped_eval() {
+        use fedval_core::coalition::all_subsets;
+        let u = mlp_utility(3);
+        let coalitions: Vec<Coalition> = all_subsets(3).collect();
+        let mapped: Vec<f64> = coalitions.iter().map(|&s| u.eval(s)).collect();
+        for lane_block in [1usize, 2, 3, 8, 16] {
+            let u = mlp_utility(3).with_lane_block(lane_block);
+            assert_eq!(u.eval_batch(&coalitions), mapped, "lane_block {lane_block}");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use rand::Rng;
 
+use crate::lanes::{LaneLayer, MultiDense, MultiDenseRelu, MultiRelu, PerLane};
 use crate::linalg::{matmul, matmul_a_bt_bias, matmul_at_b_accum};
 
 /// A differentiable layer processing batches of flattened samples.
@@ -42,6 +43,23 @@ pub trait Layer: Send {
 
     /// Read parameters back from the front of `src`, advancing it.
     fn read_params(&mut self, _src: &mut &[f32]) {}
+
+    /// Replicate this layer's parameters into a multi-lane counterpart
+    /// holding `lanes` parameter lanes — the building block of
+    /// [`crate::lanes::MultiNetwork`]. Dense-family layers return
+    /// lane-blocked implementations; others fall back to a per-lane loop
+    /// over clones of the solo layer (bit-identical either way).
+    fn to_multi(&self, lanes: usize) -> Box<dyn LaneLayer>;
+}
+
+/// Per-lane fallback for layers without a dedicated lane-blocked kernel:
+/// `lanes` clones of the solo layer, looped by [`PerLane`].
+fn per_lane_fallback<L: Layer + Clone + 'static>(layer: &L, lanes: usize) -> Box<dyn LaneLayer> {
+    Box::new(PerLane::new(
+        (0..lanes)
+            .map(|_| Box::new(layer.clone()) as Box<dyn Layer>)
+            .collect(),
+    ))
 }
 
 /// Kaiming-uniform initialisation bound for a layer with `fan_in` inputs.
@@ -50,6 +68,7 @@ fn init_bound(fan_in: usize) -> f32 {
 }
 
 /// Fully connected layer: `y = x·Wᵀ + b` with `W: out×in` (row-major).
+#[derive(Clone)]
 pub struct Dense {
     in_len: usize,
     out_len: usize,
@@ -168,6 +187,16 @@ impl Layer for Dense {
         self.b.copy_from_slice(b);
         *src = rest;
     }
+
+    fn to_multi(&self, lanes: usize) -> Box<dyn LaneLayer> {
+        Box::new(MultiDense::replicate(
+            self.in_len,
+            self.out_len,
+            &self.w,
+            &self.b,
+            lanes,
+        ))
+    }
 }
 
 /// Fused `ReLU(x·Wᵀ + b)` layer: the matmul kernel applies bias and ReLU
@@ -253,9 +282,20 @@ impl Layer for DenseRelu {
     fn read_params(&mut self, src: &mut &[f32]) {
         self.dense.read_params(src);
     }
+
+    fn to_multi(&self, lanes: usize) -> Box<dyn LaneLayer> {
+        Box::new(MultiDenseRelu::replicate(
+            self.dense.in_len,
+            self.dense.out_len,
+            &self.dense.w,
+            &self.dense.b,
+            lanes,
+        ))
+    }
 }
 
 /// Element-wise rectified linear unit.
+#[derive(Clone)]
 pub struct Relu {
     len: usize,
     mask: Vec<bool>,
@@ -299,10 +339,15 @@ impl Layer for Relu {
             .map(|(&g, &keep)| if keep { g } else { 0.0 })
             .collect()
     }
+
+    fn to_multi(&self, lanes: usize) -> Box<dyn LaneLayer> {
+        Box::new(MultiRelu::replicate(self.len, lanes))
+    }
 }
 
 /// 2-D convolution over `(channels, height, width)` feature maps with
 /// 3×3-style square kernels, stride 1 and symmetric zero padding.
+#[derive(Clone)]
 pub struct Conv2d {
     in_ch: usize,
     out_ch: usize,
@@ -484,11 +529,16 @@ impl Layer for Conv2d {
         self.bias.copy_from_slice(b);
         *src = rest;
     }
+
+    fn to_multi(&self, lanes: usize) -> Box<dyn LaneLayer> {
+        per_lane_fallback(self, lanes)
+    }
 }
 
 /// 2×2 max pooling with stride 2 over `(channels, height, width)` maps.
 /// Odd trailing rows/columns are dropped (floor division), as in common
 /// frameworks.
+#[derive(Clone)]
 pub struct MaxPool2 {
     ch: usize,
     h: usize,
@@ -568,6 +618,10 @@ impl Layer for MaxPool2 {
             }
         }
         grad_in
+    }
+
+    fn to_multi(&self, lanes: usize) -> Box<dyn LaneLayer> {
+        per_lane_fallback(self, lanes)
     }
 }
 
@@ -788,6 +842,7 @@ mod tests {
 }
 
 /// Element-wise hyperbolic tangent.
+#[derive(Clone)]
 pub struct Tanh {
     len: usize,
     cached_output: Vec<f32>,
@@ -826,9 +881,14 @@ impl Layer for Tanh {
             .map(|(&g, &y)| g * (1.0 - y * y))
             .collect()
     }
+
+    fn to_multi(&self, lanes: usize) -> Box<dyn LaneLayer> {
+        per_lane_fallback(self, lanes)
+    }
 }
 
 /// Element-wise logistic sigmoid.
+#[derive(Clone)]
 pub struct Sigmoid {
     len: usize,
     cached_output: Vec<f32>,
@@ -867,9 +927,14 @@ impl Layer for Sigmoid {
             .map(|(&g, &y)| g * y * (1.0 - y))
             .collect()
     }
+
+    fn to_multi(&self, lanes: usize) -> Box<dyn LaneLayer> {
+        per_lane_fallback(self, lanes)
+    }
 }
 
 /// Leaky rectified linear unit: `x` for `x > 0`, `α·x` otherwise.
+#[derive(Clone)]
 pub struct LeakyRelu {
     len: usize,
     alpha: f32,
@@ -919,6 +984,10 @@ impl Layer for LeakyRelu {
             .zip(&self.mask)
             .map(|(&g, &pos)| if pos { g } else { self.alpha * g })
             .collect()
+    }
+
+    fn to_multi(&self, lanes: usize) -> Box<dyn LaneLayer> {
+        per_lane_fallback(self, lanes)
     }
 }
 

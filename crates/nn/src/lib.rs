@@ -12,13 +12,19 @@
 //!   accuracy/loss evaluation and **flat parameter (de)serialisation**, the
 //!   representation FedAvg aggregates and the gradient-based valuation
 //!   baselines reconstruct models from;
+//! * [`lanes`] — [`lanes::MultiNetwork`]: `B` parameter lanes of one
+//!   architecture advanced in lock-step through shared mini-batches, each
+//!   lane bit-identical to a solo [`network::Network`] run (the substrate
+//!   of multi-coalition FedAvg training);
 //! * [`models`] — the experiment model families: `mlp`, `cnn`, `linear`.
 
+pub mod lanes;
 pub mod layers;
 pub mod linalg;
 pub mod loss;
 pub mod models;
 pub mod network;
 
+pub use lanes::{LaneLayer, LaneTensor, MultiNetwork};
 pub use models::{cnn, default_mlp, linear, mlp};
 pub use network::Network;

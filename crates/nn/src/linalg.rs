@@ -150,6 +150,130 @@ fn a_bt_row(
     }
 }
 
+/// Lane-blocked fused forward for `lanes` parameter lanes over one input:
+/// `out[l] = a_l · W_lᵀ + bias_l` (optionally ReLU-clamped), where `W_l`,
+/// `bias_l` and `out[l]` are the `l`-th slices of the lane-contiguous
+/// buffers and `a_l` is either the shared input (`a_shared`, one `m×k`
+/// buffer every lane reads — the multi-coalition engine's layer-0 case,
+/// where every coalition model consumes the same gathered mini-batch) or
+/// lane `l`'s own `m×k` slice of `a`.
+///
+/// The nest is lane-outer so each lane's weight panel stays resident
+/// across its rows while the shared input is served from cache; each
+/// `(row, lane)` pair is handed to [`a_bt_row`], so every lane's
+/// arithmetic is bit-identical to a solo [`matmul_a_bt_bias`] call.
+///
+/// `relu_masks`, when provided, must hold `lanes·m·n` slots; the positive
+/// mask of each active lane's output is written in place (the backward
+/// gate, as in [`matmul_a_bt_bias`]). Inactive lanes (per `active`) are
+/// skipped entirely: their outputs and masks are left untouched.
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel: dims + operands
+pub fn lane_matmul_a_bt_bias(
+    a: &[f32],
+    a_shared: bool,
+    w: &[f32],
+    bias: &[f32],
+    lanes: usize,
+    active: &[bool],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    mut relu_masks: Option<&mut [bool]>,
+) {
+    assert_eq!(a.len(), if a_shared { m * k } else { lanes * m * k });
+    assert_eq!(w.len(), lanes * n * k);
+    assert_eq!(bias.len(), lanes * n);
+    assert_eq!(active.len(), lanes);
+    assert_eq!(out.len(), lanes * m * n);
+    if let Some(masks) = &relu_masks {
+        assert_eq!(masks.len(), lanes * m * n);
+    }
+    let fuse_relu = relu_masks.is_some();
+    for l in 0..lanes {
+        if !active[l] {
+            continue;
+        }
+        let w_l = &w[l * n * k..(l + 1) * n * k];
+        let bias_l = &bias[l * n..(l + 1) * n];
+        for i in 0..m {
+            let a_row = if a_shared {
+                &a[i * k..(i + 1) * k]
+            } else {
+                &a[(l * m + i) * k..(l * m + i + 1) * k]
+            };
+            let out_row = &mut out[(l * m + i) * n..(l * m + i + 1) * n];
+            a_bt_row(a_row, w_l, k, n, out_row, Some(bias_l), fuse_relu);
+            if let Some(masks) = relu_masks.as_deref_mut() {
+                let mask_row = &mut masks[(l * m + i) * n..(l * m + i + 1) * n];
+                for (mk, &v) in mask_row.iter_mut().zip(out_row.iter()) {
+                    *mk = v > 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Lane-blocked gradient accumulation for `lanes` parameter lanes:
+/// `grad_w[l] += grad_out_lᵀ · input_l` and `grad_b[l] += Σ_rows
+/// grad_out_l`, fused into one traversal of the upstream gradient.
+///
+/// `input` is either shared across lanes (`input_shared`; the engine's
+/// layer-0 case — the gathered mini-batch feeds every lane's
+/// accumulation) or lane-contiguous. Per lane, rows are visited in
+/// ascending order and the shared-dimension products are added in
+/// ascending order, exactly as [`matmul_at_b_accum`] followed by the
+/// row-sum bias loop — so each lane's gradients are bit-identical to the
+/// solo pair of passes.
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel: dims + operands
+pub fn lane_matmul_at_b_accum(
+    grad_out: &[f32],
+    input: &[f32],
+    input_shared: bool,
+    lanes: usize,
+    active: &[bool],
+    m: usize,
+    k: usize,
+    n: usize,
+    grad_w: &mut [f32],
+    grad_b: &mut [f32],
+) {
+    assert_eq!(grad_out.len(), lanes * m * k);
+    assert_eq!(
+        input.len(),
+        if input_shared { m * n } else { lanes * m * n }
+    );
+    assert_eq!(active.len(), lanes);
+    assert_eq!(grad_w.len(), lanes * k * n);
+    assert_eq!(grad_b.len(), lanes * k);
+    for l in 0..lanes {
+        if !active[l] {
+            continue;
+        }
+        let gw = &mut grad_w[l * k * n..(l + 1) * k * n];
+        let gb = &mut grad_b[l * k..(l + 1) * k];
+        for i in 0..m {
+            let g_row = &grad_out[(l * m + i) * k..(l * m + i + 1) * k];
+            let in_row = if input_shared {
+                &input[i * n..(i + 1) * n]
+            } else {
+                &input[(l * m + i) * n..(l * m + i + 1) * n]
+            };
+            for (p, &gv) in g_row.iter().enumerate() {
+                if gv != 0.0 {
+                    let out_row = &mut gw[p * n..(p + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(in_row) {
+                        *o += gv * bv;
+                    }
+                }
+            }
+            for (g, &d) in gb.iter_mut().zip(g_row) {
+                *g += d;
+            }
+        }
+    }
+}
+
 /// `out[k×n] += aᵀ · b` where `a` is `m×k` and `b` is `m×n` (row-major).
 /// Accumulates into `out` (gradient accumulation).
 pub fn matmul_at_b_accum(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
@@ -352,6 +476,120 @@ mod tests {
         }
         // The mask gates exactly the positive outputs.
         assert!(mask.iter().any(|&x| x) && mask.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn lane_forward_matches_solo_kernel_per_lane() {
+        // Shared and per-lane inputs, with and without ReLU, odd dims;
+        // zeros planted in the input to exercise the sparsity paths.
+        let (lanes, m, k, n) = (3usize, 4usize, 13usize, 6usize);
+        let w = pseudo(11, lanes * n * k);
+        let bias = pseudo(12, lanes * n);
+        let mut shared_a = pseudo(13, m * k);
+        shared_a[3] = 0.0;
+        shared_a[17] = 0.0;
+        let mut lane_a = pseudo(14, lanes * m * k);
+        lane_a[5] = 0.0;
+        for (a, a_shared) in [(&shared_a, true), (&lane_a, false)] {
+            for relu in [false, true] {
+                let active = vec![true, false, true];
+                let mut out = vec![f32::NAN; lanes * m * n];
+                let mut masks = vec![false; lanes * m * n];
+                lane_matmul_a_bt_bias(
+                    a,
+                    a_shared,
+                    &w,
+                    &bias,
+                    lanes,
+                    &active,
+                    m,
+                    k,
+                    n,
+                    &mut out,
+                    if relu { Some(&mut masks) } else { None },
+                );
+                for l in 0..lanes {
+                    if !active[l] {
+                        // Inactive lanes untouched.
+                        assert!(out[l * m * n..(l + 1) * m * n].iter().all(|v| v.is_nan()));
+                        continue;
+                    }
+                    let a_l = if a_shared {
+                        &a[..]
+                    } else {
+                        &a[l * m * k..(l + 1) * m * k]
+                    };
+                    let mut expect = vec![0.0f32; m * n];
+                    let mut expect_mask = Vec::new();
+                    matmul_a_bt_bias(
+                        a_l,
+                        &w[l * n * k..(l + 1) * n * k],
+                        &bias[l * n..(l + 1) * n],
+                        m,
+                        k,
+                        n,
+                        &mut expect,
+                        if relu { Some(&mut expect_mask) } else { None },
+                    );
+                    assert_eq!(&out[l * m * n..(l + 1) * m * n], &expect[..]);
+                    if relu {
+                        assert_eq!(&masks[l * m * n..(l + 1) * m * n], &expect_mask[..]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_grad_accum_matches_solo_kernel_per_lane() {
+        let (lanes, m, k, n) = (4usize, 5usize, 7usize, 9usize);
+        let mut grad_out = pseudo(21, lanes * m * k);
+        grad_out[4] = 0.0;
+        let mut shared_in = pseudo(22, m * n);
+        shared_in[7] = 0.0;
+        let lane_in = pseudo(23, lanes * m * n);
+        for (input, shared) in [(&shared_in, true), (&lane_in, false)] {
+            let active = vec![true, true, false, true];
+            let mut gw = pseudo(24, lanes * k * n);
+            let mut gb = pseudo(25, lanes * k);
+            let gw0 = gw.clone();
+            let gb0 = gb.clone();
+            lane_matmul_at_b_accum(
+                &grad_out, input, shared, lanes, &active, m, k, n, &mut gw, &mut gb,
+            );
+            for l in 0..lanes {
+                if !active[l] {
+                    assert_eq!(
+                        gw[l * k * n..(l + 1) * k * n],
+                        gw0[l * k * n..(l + 1) * k * n]
+                    );
+                    assert_eq!(gb[l * k..(l + 1) * k], gb0[l * k..(l + 1) * k]);
+                    continue;
+                }
+                let in_l = if shared {
+                    &input[..]
+                } else {
+                    &input[l * m * n..(l + 1) * m * n]
+                };
+                let mut expect_w = gw0[l * k * n..(l + 1) * k * n].to_vec();
+                matmul_at_b_accum(
+                    &grad_out[l * m * k..(l + 1) * m * k],
+                    in_l,
+                    m,
+                    k,
+                    n,
+                    &mut expect_w,
+                );
+                assert_eq!(&gw[l * k * n..(l + 1) * k * n], &expect_w[..]);
+                let mut expect_b = gb0[l * k..(l + 1) * k].to_vec();
+                for row in grad_out[l * m * k..(l + 1) * m * k].chunks_exact(k) {
+                    for (g, &d) in expect_b.iter_mut().zip(row) {
+                        *g += d;
+                    }
+                }
+                assert_eq!(&gb[l * k..(l + 1) * k], &expect_b[..]);
+            }
+        }
     }
 
     #[test]

@@ -49,6 +49,12 @@ impl Network {
         self.n_classes
     }
 
+    /// The layer stack (used by [`crate::lanes::MultiNetwork`] to build its
+    /// multi-lane counterpart).
+    pub(crate) fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
     /// Forward pass producing logits for a batch of flattened inputs.
     pub fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
         assert_eq!(input.len(), batch * self.in_len);

@@ -10,24 +10,52 @@
 //!   1-, 2- and N-thread runs);
 //! * [`current_num_threads`].
 //!
-//! Unlike real rayon there is no work stealing: each parallel call splits
-//! its input into `current_num_threads()` contiguous chunks, one OS thread
-//! per chunk. For the workspace's workloads — batches of coalition
-//! evaluations whose per-item cost is roughly uniform within a batch — a
-//! static split loses little to stealing, and order-preserving `collect`
-//! keeps results position-stable, which the bit-identical determinism
-//! guarantee relies on.
+//! Work distribution mirrors real rayon's effect, not its deque
+//! machinery: every parallel call runs a **shared-index stealing loop** —
+//! workers claim small index blocks from one atomic counter until the
+//! input is drained — so a straggler item (a large coalition's FedAvg
+//! cycle, say) delays only the worker that claimed it while the rest of
+//! the batch flows on. Results are scattered back by index, so `collect`
+//! stays order-preserving, which the bit-identical determinism guarantee
+//! relies on. (Callers that know their items' costs — the FL engine's
+//! size-sorted lane blocks — sort before splitting, making the steal loop
+//! a backstop rather than the primary balancing mechanism.)
+//!
+//! Like real rayon, the default thread count honours the
+//! `RAYON_NUM_THREADS` environment variable (read once per process) and
+//! falls back to `available_parallelism`.
 //!
 //! To migrate to the real crate: delete the `rayon` entry under
 //! `[workspace.dependencies]`; the call sites compile unchanged.
 
 use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 thread_local! {
     /// Parallelism override installed by [`ThreadPool::install`]; 0 means
     /// "use the machine default".
     static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Process-wide default thread count: `RAYON_NUM_THREADS` if set to a
+/// positive integer (real rayon's global-pool knob), else the machine's
+/// available parallelism.
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Number of threads parallel calls on this thread will fan out to.
@@ -36,9 +64,7 @@ pub fn current_num_threads() -> usize {
     if installed > 0 {
         installed
     } else {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
+        default_num_threads()
     }
 }
 
@@ -75,9 +101,7 @@ impl ThreadPoolBuilder {
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
             num_threads: if self.num_threads == 0 {
-                std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1)
+                default_num_threads()
             } else {
                 self.num_threads
             },
@@ -111,9 +135,12 @@ impl ThreadPool {
     }
 }
 
-/// Order-preserving parallel map over a slice: splits into
-/// `current_num_threads()` contiguous chunks and maps each on its own
-/// scoped thread.
+/// Order-preserving parallel map over a slice via a shared-index stealing
+/// loop: `current_num_threads()` scoped workers repeatedly claim the next
+/// block of indices from one atomic counter and map them, so uneven
+/// per-item costs self-balance instead of being locked into static
+/// chunks. Each worker tags results with their indices; the caller
+/// scatters them back, so output order always matches input order.
 fn par_map_slice<'a, T: Sync, R: Send, F>(slice: &'a [T], f: &F) -> Vec<R>
 where
     F: Fn(&'a T) -> R + Sync,
@@ -122,23 +149,48 @@ where
     if threads <= 1 || slice.len() <= 1 {
         return slice.iter().map(f).collect();
     }
-    let chunk_len = slice.len().div_ceil(threads);
-    let mut pieces: Vec<Vec<R>> = Vec::with_capacity(threads);
+    // Small steal blocks: fine enough that one expensive item cannot trap
+    // cheap work behind it, coarse enough to keep counter traffic low when
+    // items are tiny.
+    let block = slice.len().div_ceil(threads * 8).max(1);
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = slice
-            .chunks(chunk_len)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+        let next = &next;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut got: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(block, Ordering::Relaxed);
+                        if start >= slice.len() {
+                            break;
+                        }
+                        let end = (start + block).min(slice.len());
+                        for (i, item) in slice[start..end].iter().enumerate() {
+                            got.push((start + i, f(item)));
+                        }
+                    }
+                    got
+                })
+            })
             .collect();
         for h in handles {
             // A panic in a worker propagates to the caller, like rayon.
-            pieces.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            tagged.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
         }
     });
-    let mut out = Vec::with_capacity(slice.len());
-    for piece in pieces {
-        out.extend(piece);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(slice.len());
+    out.resize_with(slice.len(), || None);
+    for piece in tagged {
+        for (i, r) in piece {
+            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            out[i] = Some(r);
+        }
     }
-    out
+    out.into_iter()
+        .map(|r| r.expect("stealing loop covered every index"))
+        .collect()
 }
 
 /// Parallel iterator over `&[T]` (entry point of the `par_iter` chain).
@@ -244,6 +296,34 @@ mod tests {
         let v: Vec<i64> = (0..100).collect();
         let s: i64 = pool.install(|| v.par_iter().map(|&x| x).sum());
         assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn stealing_loop_preserves_order_under_uneven_costs() {
+        // Items with wildly different costs (front-loaded) must still come
+        // back in input order — the stealing loop scatters by index.
+        let v: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = v
+            .iter()
+            .map(|&x| if x < 8 { x * 3 } else { x + 1 })
+            .collect();
+        for n in [2usize, 3, 5, 16] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let got: Vec<u64> = pool.install(|| {
+                v.par_iter()
+                    .map(|&x| {
+                        if x < 8 {
+                            // Simulate a straggler item.
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                            x * 3
+                        } else {
+                            x + 1
+                        }
+                    })
+                    .collect()
+            });
+            assert_eq!(got, expect, "thread count {n}");
+        }
     }
 
     #[test]
