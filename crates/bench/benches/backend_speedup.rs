@@ -1,0 +1,339 @@
+//! backend_speedup — kernel-level throughput of the pluggable linalg
+//! backends (`Reference` vs `Simd`) on the shapes the FL hot path
+//! actually runs:
+//!
+//! * **solo** — one coalition model's forward (`matmul_a_bt_bias`, fused
+//!   bias+ReLU), weight-gradient (`matmul_at_b_accum`) and input-gradient
+//!   (`matmul`) kernels, at the experiments' default-MLP shape and at a
+//!   larger production-leaning shape;
+//! * **lane** — the lock-step engine's lane-blocked forward and gradient
+//!   kernels (`B` parameter lanes over one shared mini-batch, the
+//!   batched-GEMM shape a GPU backend would target);
+//! * **vector** — `dot` over a parameter-vector-sized operand (the
+//!   FedProx/aggregation arithmetic scale).
+//!
+//! Before timing, each shape's Simd output is checked against Reference
+//! (≤ 1e-5 relative), so a broken backend can never record a "speedup".
+//! Throughputs (min-time over repetitions) are written to
+//! `BENCH_backend.json` at the workspace root, with the machine's
+//! `available_parallelism()` and `RAYON_NUM_THREADS` embedded so later
+//! multicore re-runs stay comparable. The kernels are single-threaded;
+//! the measured ratio composes multiplicatively with `par_speedup`'s
+//! thread fan-out and `coalesce_speedup`'s lane coalescing.
+//!
+//! Knobs: `FEDVAL_QUICK=1` shrinks the repetition counts,
+//! `FEDVAL_BACKEND_JSON=<path>` redirects the report.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use fedval_bench::quick;
+use fedval_nn::backend::{rel_close, LinalgBackend, Reference, Simd};
+
+/// Deterministic operand filler (no RNG dependency in the kernel bench).
+fn pseudo(seed: u32, len: usize) -> Vec<f32> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            (x >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+        })
+        .collect()
+}
+
+struct KernelResult {
+    name: &'static str,
+    shape: String,
+    flops_per_call: f64,
+    reference_secs: f64,
+    simd_secs: f64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.reference_secs / self.simd_secs
+    }
+    fn gflops(&self, secs: f64) -> f64 {
+        self.flops_per_call / secs / 1e9
+    }
+}
+
+/// Min-time over `reps` repetitions of `calls` kernel invocations;
+/// returns seconds per call.
+fn time_per_call(mut f: impl FnMut(), calls: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..calls {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / calls as f64);
+    }
+    best
+}
+
+fn assert_close(reference: &[f32], simd: &[f32], what: &str) {
+    assert_eq!(reference.len(), simd.len());
+    for (&r, &s) in reference.iter().zip(simd) {
+        assert!(rel_close(r, s), "{what}: backend disagreement {r} vs {s}");
+    }
+}
+
+fn main() {
+    let (calls, reps) = if quick() { (8, 3) } else { (24, 5) };
+    let mut results: Vec<KernelResult> = Vec::new();
+
+    // --- Solo forward: fused bias+ReLU a·bᵀ, two shapes. -----------------
+    for (label, m, k, n) in [
+        ("solo_forward_mlp", 16usize, 64usize, 32usize),
+        ("solo_forward_large", 64, 256, 128),
+    ] {
+        let a = pseudo(1, m * k);
+        let w = pseudo(2, n * k);
+        let bias = pseudo(3, n);
+        let mut out_r = vec![0.0f32; m * n];
+        let mut out_s = vec![0.0f32; m * n];
+        let mut mask = Vec::with_capacity(m * n);
+        Reference.matmul_a_bt_bias(&a, &w, &bias, m, k, n, &mut out_r, None);
+        Simd.matmul_a_bt_bias(&a, &w, &bias, m, k, n, &mut out_s, None);
+        assert_close(&out_r, &out_s, label);
+        let reference_secs = time_per_call(
+            || {
+                mask.clear();
+                Reference.matmul_a_bt_bias(&a, &w, &bias, m, k, n, &mut out_r, Some(&mut mask));
+                std::hint::black_box(&out_r);
+            },
+            calls,
+            reps,
+        );
+        let simd_secs = time_per_call(
+            || {
+                mask.clear();
+                Simd.matmul_a_bt_bias(&a, &w, &bias, m, k, n, &mut out_s, Some(&mut mask));
+                std::hint::black_box(&out_s);
+            },
+            calls,
+            reps,
+        );
+        results.push(KernelResult {
+            name: label,
+            shape: format!("{m}x{k}x{n}"),
+            flops_per_call: 2.0 * (m * k * n) as f64,
+            reference_secs,
+            simd_secs,
+        });
+    }
+
+    // --- Solo gradients: aᵀ·b accumulation + input-gradient matmul. ------
+    {
+        let (m, k, n) = (64usize, 128usize, 256usize);
+        let g = pseudo(4, m * k);
+        let x = pseudo(5, m * n);
+        let mut acc_r = pseudo(6, k * n);
+        let mut acc_s = acc_r.clone();
+        Reference.matmul_at_b_accum(&g, &x, m, k, n, &mut acc_r);
+        Simd.matmul_at_b_accum(&g, &x, m, k, n, &mut acc_s);
+        assert_close(&acc_r, &acc_s, "solo_grad_accum");
+        let reference_secs = time_per_call(
+            || {
+                Reference.matmul_at_b_accum(&g, &x, m, k, n, &mut acc_r);
+                std::hint::black_box(&acc_r);
+            },
+            calls,
+            reps,
+        );
+        let simd_secs = time_per_call(
+            || {
+                Simd.matmul_at_b_accum(&g, &x, m, k, n, &mut acc_s);
+                std::hint::black_box(&acc_s);
+            },
+            calls,
+            reps,
+        );
+        results.push(KernelResult {
+            name: "solo_grad_accum",
+            shape: format!("{m}x{k}x{n}"),
+            flops_per_call: 2.0 * (m * k * n) as f64,
+            reference_secs,
+            simd_secs,
+        });
+    }
+
+    // --- Lane kernels: B lanes over one shared batch (lock-step shape). --
+    {
+        let (lanes, m, k, n) = (8usize, 16usize, 64usize, 32usize);
+        let active = vec![true; lanes];
+        let a = pseudo(7, m * k);
+        let w = pseudo(8, lanes * n * k);
+        let bias = pseudo(9, lanes * n);
+        let mut out_r = vec![0.0f32; lanes * m * n];
+        let mut out_s = vec![0.0f32; lanes * m * n];
+        let mut masks = vec![false; lanes * m * n];
+        Reference.lane_matmul_a_bt_bias(
+            &a, true, &w, &bias, lanes, &active, m, k, n, &mut out_r, None,
+        );
+        Simd.lane_matmul_a_bt_bias(
+            &a, true, &w, &bias, lanes, &active, m, k, n, &mut out_s, None,
+        );
+        assert_close(&out_r, &out_s, "lane_forward");
+        let reference_secs = time_per_call(
+            || {
+                Reference.lane_matmul_a_bt_bias(
+                    &a,
+                    true,
+                    &w,
+                    &bias,
+                    lanes,
+                    &active,
+                    m,
+                    k,
+                    n,
+                    &mut out_r,
+                    Some(&mut masks),
+                );
+                std::hint::black_box(&out_r);
+            },
+            calls,
+            reps,
+        );
+        let simd_secs = time_per_call(
+            || {
+                Simd.lane_matmul_a_bt_bias(
+                    &a,
+                    true,
+                    &w,
+                    &bias,
+                    lanes,
+                    &active,
+                    m,
+                    k,
+                    n,
+                    &mut out_s,
+                    Some(&mut masks),
+                );
+                std::hint::black_box(&out_s);
+            },
+            calls,
+            reps,
+        );
+        results.push(KernelResult {
+            name: "lane_forward",
+            shape: format!("B{lanes}x{m}x{k}x{n}"),
+            flops_per_call: 2.0 * (lanes * m * k * n) as f64,
+            reference_secs,
+            simd_secs,
+        });
+
+        // Lane gradient accumulation over the transposed shape.
+        let grad = pseudo(10, lanes * m * n);
+        let mut gw_r = vec![0.0f32; lanes * n * k];
+        let mut gw_s = vec![0.0f32; lanes * n * k];
+        let mut gb_r = vec![0.0f32; lanes * n];
+        let mut gb_s = vec![0.0f32; lanes * n];
+        Reference.lane_matmul_at_b_accum(
+            &grad, &a, true, lanes, &active, m, n, k, &mut gw_r, &mut gb_r,
+        );
+        Simd.lane_matmul_at_b_accum(
+            &grad, &a, true, lanes, &active, m, n, k, &mut gw_s, &mut gb_s,
+        );
+        assert_close(&gw_r, &gw_s, "lane_grad_accum");
+        let reference_secs = time_per_call(
+            || {
+                Reference.lane_matmul_at_b_accum(
+                    &grad, &a, true, lanes, &active, m, n, k, &mut gw_r, &mut gb_r,
+                );
+                std::hint::black_box(&gw_r);
+            },
+            calls,
+            reps,
+        );
+        let simd_secs = time_per_call(
+            || {
+                Simd.lane_matmul_at_b_accum(
+                    &grad, &a, true, lanes, &active, m, n, k, &mut gw_s, &mut gb_s,
+                );
+                std::hint::black_box(&gw_s);
+            },
+            calls,
+            reps,
+        );
+        results.push(KernelResult {
+            name: "lane_grad_accum",
+            shape: format!("B{lanes}x{m}x{n}x{k}"),
+            flops_per_call: 2.0 * (lanes * m * k * n) as f64,
+            reference_secs,
+            simd_secs,
+        });
+    }
+
+    // --- Vector helper: dot at parameter-vector scale. -------------------
+    {
+        let len = 1 << 16;
+        let a = pseudo(11, len);
+        let b = pseudo(12, len);
+        let r = Reference.dot(&a, &b);
+        let s = Simd.dot(&a, &b);
+        assert!(rel_close(r, s), "dot disagreement {r} vs {s}");
+        let reference_secs = time_per_call(
+            || {
+                std::hint::black_box(Reference.dot(&a, &b));
+            },
+            calls * 8,
+            reps,
+        );
+        let simd_secs = time_per_call(
+            || {
+                std::hint::black_box(Simd.dot(&a, &b));
+            },
+            calls * 8,
+            reps,
+        );
+        results.push(KernelResult {
+            name: "dot_64k",
+            shape: format!("{len}"),
+            flops_per_call: 2.0 * len as f64,
+            reference_secs,
+            simd_secs,
+        });
+    }
+
+    println!(
+        "backend_speedup: {} kernel shapes, min-time over {reps} reps x {calls} calls",
+        results.len()
+    );
+    for r in &results {
+        println!(
+            "{:<20} {:>14}  reference {:7.3} GFLOP/s  simd {:7.3} GFLOP/s  speedup {:5.2}x",
+            r.name,
+            r.shape,
+            r.gflops(r.reference_secs),
+            r.gflops(r.simd_secs),
+            r.speedup()
+        );
+    }
+
+    let mut kernels = String::new();
+    for (idx, r) in results.iter().enumerate() {
+        kernels.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"reference\": {{\"seconds_per_call\": {:.9}, \"gflops\": {:.4}}}, \"simd\": {{\"seconds_per_call\": {:.9}, \"gflops\": {:.4}}}, \"speedup\": {:.4}}}{}\n",
+            r.name,
+            r.shape,
+            r.reference_secs,
+            r.gflops(r.reference_secs),
+            r.simd_secs,
+            r.gflops(r.simd_secs),
+            r.speedup(),
+            if idx + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"backend_speedup\",\n  \"scenario\": \"single-threaded linalg kernel throughput, Reference vs Simd backend, on the FL hot-path solo and lane shapes\",\n  {},\n  \"kernels\": [\n{kernels}  ]\n}}\n",
+        fedval_bench::parallelism_json_fields(),
+    );
+    let path = std::env::var("FEDVAL_BACKEND_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_backend.json", env!("CARGO_MANIFEST_DIR")));
+    let mut file = std::fs::File::create(&path).expect("create BENCH_backend.json");
+    file.write_all(report.as_bytes())
+        .expect("write BENCH_backend.json");
+    println!("wrote {path}");
+}

@@ -146,10 +146,11 @@ fn main() {
     let path = std::env::var("FEDVAL_COALESCE_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_coalesce.json", env!("CARGO_MANIFEST_DIR")));
     let report = format!(
-        "{{\n  \"bench\": \"coalesce_speedup\",\n  \"scenario\": \"exact SV sweep over FL-backed utility (synthetic MNIST, FedAvg {} rounds x {} epochs), lock-step lane blocks vs solo per-coalition training\",\n  \"n_clients\": {n},\n  \"coalitions\": {},\n  \"lane_block\": {b},\n  \"serial\": {{\"path\": \"{}\", \"seconds\": {:.6}, \"evals_per_sec\": {:.4}}},\n  \"batched\": {{\"path\": \"{}\", \"seconds\": {:.6}, \"evals_per_sec\": {:.4}}},\n  \"speedup\": {:.4},\n  \"values_bit_identical\": {identical}\n}}\n",
+        "{{\n  \"bench\": \"coalesce_speedup\",\n  \"scenario\": \"exact SV sweep over FL-backed utility (synthetic MNIST, FedAvg {} rounds x {} epochs), lock-step lane blocks vs solo per-coalition training\",\n  \"n_clients\": {n},\n  \"coalitions\": {},\n  \"lane_block\": {b},\n  {},\n  \"serial\": {{\"path\": \"{}\", \"seconds\": {:.6}, \"evals_per_sec\": {:.4}}},\n  \"batched\": {{\"path\": \"{}\", \"seconds\": {:.6}, \"evals_per_sec\": {:.4}}},\n  \"speedup\": {:.4},\n  \"values_bit_identical\": {identical}\n}}\n",
         2,
         2,
         coalitions.len(),
+        fedval_bench::parallelism_json_fields(),
         serial.label,
         serial.secs,
         serial.evals_per_sec,

@@ -79,10 +79,11 @@ fn run_with_threads(n: usize, threads: usize) -> Run {
     }
 }
 
-fn json_report(n: usize, cores: usize, serial: &Run, parallel: &Run, identical: bool) -> String {
+fn json_report(n: usize, serial: &Run, parallel: &Run, identical: bool) -> String {
     format!(
-        "{{\n  \"bench\": \"par_speedup\",\n  \"scenario\": \"exact MC-SV over FL-backed utility (fig9-style synthetic MNIST, FedAvg 1 round)\",\n  \"n_clients\": {n},\n  \"coalitions\": {},\n  \"machine_cores\": {cores},\n  \"serial\": {{\"threads\": {}, \"seconds\": {:.6}, \"evaluations\": {}}},\n  \"parallel\": {{\"threads\": {}, \"seconds\": {:.6}, \"evaluations\": {}}},\n  \"speedup\": {:.4},\n  \"values_bit_identical\": {identical}\n}}\n",
+        "{{\n  \"bench\": \"par_speedup\",\n  \"scenario\": \"exact MC-SV over FL-backed utility (fig9-style synthetic MNIST, FedAvg 1 round)\",\n  \"n_clients\": {n},\n  \"coalitions\": {},\n  {},\n  \"serial\": {{\"threads\": {}, \"seconds\": {:.6}, \"evaluations\": {}}},\n  \"parallel\": {{\"threads\": {}, \"seconds\": {:.6}, \"evaluations\": {}}},\n  \"speedup\": {:.4},\n  \"values_bit_identical\": {identical}\n}}\n",
         1u64 << n,
+        fedval_bench::parallelism_json_fields(),
         serial.threads,
         serial.secs,
         serial.evaluations,
@@ -95,9 +96,7 @@ fn json_report(n: usize, cores: usize, serial: &Run, parallel: &Run, identical: 
 
 fn main() {
     let n = n_clients();
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
+    let cores = fedval_bench::machine_cores();
     println!(
         "par_speedup: n = {n} clients, 2^{n} = {} coalitions, {cores} cores",
         1u64 << n
@@ -126,7 +125,7 @@ fn main() {
 
     let path = std::env::var("FEDVAL_PAR_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_par.json", env!("CARGO_MANIFEST_DIR")));
-    let report = json_report(n, cores, &serial, &parallel, identical);
+    let report = json_report(n, &serial, &parallel, identical);
     let mut file = std::fs::File::create(&path).expect("create BENCH_par.json");
     file.write_all(report.as_bytes())
         .expect("write BENCH_par.json");

@@ -15,7 +15,7 @@ pub mod report;
 pub mod runner;
 pub mod table;
 
-pub use config::{base_seed, gamma_for, quick};
+pub use config::{base_seed, gamma_for, machine_cores, parallelism_json_fields, quick};
 pub use problems::{
     adult_mlp, adult_xgb, femnist, mnist_synthetic, scalability, GbdtProblem, NeuralModel,
     NeuralProblem,

@@ -1,5 +1,7 @@
 //! FedAvg hyper-parameters and deterministic seed derivation.
 
+use fedval_nn::Backend;
+
 /// Which federated optimisation algorithm the clients run (`A` in
 /// Def. 1). FedAvg is the paper's algorithm; FedProx (Li et al., MLSys'20,
 /// cited in Sec. VI-A) adds a proximal pull towards the global model that
@@ -39,6 +41,13 @@ pub struct FedAvgConfig {
     /// Server-side step size applied to the aggregated update (`1.0` is
     /// plain FedAvg parameter averaging).
     pub server_lr: f32,
+    /// Linear-algebra backend every kernel of this utility's trainings
+    /// runs on — solo and lock-step forward/backward, the FedProx
+    /// proximal pull and the server-side update arithmetic. Defaults to
+    /// the process-wide `FEDVAL_BACKEND` selection (reference when
+    /// unset); values are deterministic *per backend*, so a cached
+    /// utility must not mix backends.
+    pub backend: Backend,
 }
 
 impl Default for FedAvgConfig {
@@ -52,6 +61,7 @@ impl Default for FedAvgConfig {
             algorithm: FlAlgorithm::FedAvg,
             participation: 1.0,
             server_lr: 1.0,
+            backend: Backend::default(),
         }
     }
 }

@@ -26,7 +26,7 @@ use rand::SeedableRng;
 
 use fedval_core::coalition::Coalition;
 use fedval_data::Dataset;
-use fedval_nn::{MultiNetwork, Network};
+use fedval_nn::{LinalgBackend, MultiNetwork, Network};
 
 use crate::config::{init_seed, local_seed, FedAvgConfig, FlAlgorithm};
 use crate::history::TrainingHistory;
@@ -87,8 +87,10 @@ fn run_fedavg(
     assert!(coalition.is_subset_of(Coalition::full(clients.len())));
     // (i) Acts at server, first iteration: initialise the global model.
     // The initialisation is shared across coalitions (same server, same
-    // seed) so that U(∅) is a single well-defined quantity.
+    // seed) so that U(∅) is a single well-defined quantity. The config's
+    // backend choice reaches every kernel from here on.
     let mut global = spec.build(input, classes, init_seed(cfg.seed));
+    global.set_backend(cfg.backend);
     let members: Vec<usize> = coalition
         .members()
         .filter(|&i| !clients[i].is_empty())
@@ -104,8 +106,10 @@ fn run_fedavg(
         "participation must be in (0, 1]"
     );
     let mut aggregate = vec![0.0f32; global.param_count()];
-    // Participant scratch, allocated once and refilled per round.
+    // Participant scratch, allocated once and refilled per round, plus
+    // the FedProx proximal-direction scratch.
     let mut pool: Vec<usize> = Vec::with_capacity(members.len());
+    let mut prox_dir: Vec<f32> = Vec::new();
 
     for round in 0..cfg.rounds {
         fill_participants(&members, cfg, round, &mut pool);
@@ -136,24 +140,26 @@ fn run_fedavg(
                 FlAlgorithm::FedProx { mu } => {
                     for _ in 0..cfg.local_epochs {
                         global.train_epochs(&clients[i], 1, cfg.batch_size, cfg.lr, &mut rng);
-                        // Proximal pull towards the round's global model.
+                        // Proximal pull towards the round's global model:
+                        // w ← w − lr·μ·(w − g) ≡ w ← w + lr·μ·(g − w),
+                        // an axpy along the (g − w) direction through the
+                        // configured backend (bit-identical to the
+                        // historical in-place loop).
                         let mut p = global.params();
-                        for (w, g) in p.iter_mut().zip(&base) {
-                            *w -= cfg.lr * mu * (*w - g);
-                        }
+                        prox_dir.clear();
+                        prox_dir.extend(base.iter().zip(&p).map(|(g, w)| g - w));
+                        cfg.backend.axpy(cfg.lr * mu, &prox_dir, &mut p);
                         global.set_params(&p);
                     }
                 }
             }
             let local = global.params();
             let w = clients[i].n_samples() as f32 / total as f32;
+            // Δ = local − base, then aggregate += w·Δ — both backend
+            // axpys (element-wise, so bit-identical across backends).
             let mut delta = local;
-            for (d, b) in delta.iter_mut().zip(&base) {
-                *d -= b;
-            }
-            for (a, d) in aggregate.iter_mut().zip(&delta) {
-                *a += w * d;
-            }
+            cfg.backend.axpy(-1.0, &base, &mut delta);
+            cfg.backend.axpy(w, &delta, &mut aggregate);
             if history.is_some() {
                 round_updates[i] = Some(delta);
             }
@@ -161,9 +167,7 @@ fn run_fedavg(
         // (i) Acts at server: new global model by weighted aggregation of
         // the local models (parameter averaging = base + η_s·Σ wᵢΔᵢ).
         let mut next = base;
-        for (p, a) in next.iter_mut().zip(&aggregate) {
-            *p += cfg.server_lr * a;
-        }
+        cfg.backend.axpy(cfg.server_lr, &aggregate, &mut next);
         global.set_params(&next);
         if let Some(h) = history.as_deref_mut() {
             h.updates.push(round_updates);
@@ -227,6 +231,7 @@ pub fn train_coalitions(
         .into_iter()
         .map(|params| {
             let mut net = spec.build(input, classes, init_seed(cfg.seed));
+            net.set_backend(cfg.backend);
             net.set_params(&params);
             net
         })
@@ -254,8 +259,10 @@ pub fn train_coalitions_params(
         assert!(c.is_subset_of(Coalition::full(n)));
     }
     // (i) Acts at server, first iteration: one shared initialisation for
-    // every lane (same server, same seed — U(∅) stays well-defined).
-    let init = spec.build(input, classes, init_seed(cfg.seed));
+    // every lane (same server, same seed — U(∅) stays well-defined). The
+    // config's backend choice propagates through the multi-lane build.
+    let mut init = spec.build(input, classes, init_seed(cfg.seed));
+    init.set_backend(cfg.backend);
     let members: Vec<Vec<usize>> = coalitions
         .iter()
         .map(|c| c.members().filter(|&i| !clients[i].is_empty()).collect())
@@ -277,6 +284,7 @@ pub fn train_coalitions_params(
     let mut deltas: Vec<Vec<Option<Vec<f32>>>> = vec![(0..n).map(|_| None).collect(); lanes];
     let mut aggregate = vec![0.0f32; p];
     let mut lane_buf: Vec<f32> = Vec::with_capacity(p);
+    let mut prox_dir: Vec<f32> = Vec::new();
     let mut active = vec![false; lanes];
 
     for round in 0..cfg.rounds {
@@ -358,12 +366,14 @@ pub fn train_coalitions_params(
                             &train_mask,
                         );
                         // Proximal pull towards each group's round-start
-                        // global model (identical across the group).
+                        // global model (identical across the group), as a
+                        // backend axpy along (g − w) — the same arithmetic
+                        // as the solo path's proximal step.
                         for (rep, _) in &groups {
                             multi.lane_params_into(*rep, &mut lane_buf);
-                            for (w, g) in lane_buf.iter_mut().zip(&bases[*rep]) {
-                                *w -= cfg.lr * mu * (*w - g);
-                            }
+                            prox_dir.clear();
+                            prox_dir.extend(bases[*rep].iter().zip(&lane_buf).map(|(g, w)| g - w));
+                            cfg.backend.axpy(cfg.lr * mu, &prox_dir, &mut lane_buf);
                             multi.set_lane_params(*rep, &lane_buf);
                         }
                     }
@@ -398,13 +408,9 @@ pub fn train_coalitions_params(
                 let delta = deltas[l][i]
                     .as_ref()
                     .expect("participant trained this round");
-                for (a, d) in aggregate.iter_mut().zip(delta) {
-                    *a += w * d;
-                }
+                cfg.backend.axpy(w, delta, &mut aggregate);
             }
-            for (b, a) in bases[l].iter_mut().zip(&aggregate) {
-                *b += cfg.server_lr * a;
-            }
+            cfg.backend.axpy(cfg.server_lr, &aggregate, &mut bases[l]);
         }
     }
     bases

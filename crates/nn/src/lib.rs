@@ -16,8 +16,14 @@
 //!   architecture advanced in lock-step through shared mini-batches, each
 //!   lane bit-identical to a solo [`network::Network`] run (the substrate
 //!   of multi-coalition FedAvg training);
+//! * [`backend`] — the [`backend::LinalgBackend`] trait behind every
+//!   kernel call, with two implementations: [`backend::Reference`] (the
+//!   bit-stable blocked scalar kernels of [`linalg`]) and
+//!   [`backend::Simd`] (8-wide unrolled microkernels, deterministic per
+//!   backend), selected once via `FEDVAL_BACKEND` or per config;
 //! * [`models`] — the experiment model families: `mlp`, `cnn`, `linear`.
 
+pub mod backend;
 pub mod lanes;
 pub mod layers;
 pub mod linalg;
@@ -25,6 +31,7 @@ pub mod loss;
 pub mod models;
 pub mod network;
 
+pub use backend::{Backend, LinalgBackend};
 pub use lanes::{LaneLayer, LaneTensor, MultiNetwork};
 pub use models::{cnn, default_mlp, linear, mlp};
 pub use network::Network;

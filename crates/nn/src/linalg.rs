@@ -12,18 +12,38 @@
 //! output. Accumulation order per output element is unchanged by the
 //! blocking, so results stay bit-identical to the naive loops — which the
 //! tests assert.
+//!
+//! This module is the **`Reference` backend** of
+//! [`crate::backend::LinalgBackend`]: the free functions here are the
+//! bit-stable kernels every determinism test pins, and the `*_with`
+//! drivers factor out the loop nests (panel blocking, lane iteration,
+//! mask bookkeeping) so alternative backends — the 8-wide
+//! [`crate::backend::Simd`] today, GPU tomorrow — swap only the innermost
+//! row kernels while inheriting the exact same traversal structure.
 
 /// Panel height for [`matmul`]'s shared-dimension blocking: `KC` rows of
 /// `b` (each `n` wide) stay resident in L1/L2 across the `m` sweep.
 const KC: usize = 128;
 
-/// `out[m×n] = a[m×k] · b[k×n]` (row-major). `out` is overwritten.
-///
-/// Blocked over `k` so the active `b` panel stays in cache while every row
-/// of `a` sweeps it. For each output element the partial products are
-/// still added in ascending `p` order (blocks are visited in order), so
-/// the result is bit-identical to the unblocked loop.
-pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+/// Shared driver for `out[m×n] = a[m×k] · b[k×n]`: the `k`-panel blocking
+/// and zero-skip are common to every backend; `update_row` performs
+/// `out_row ← out_row + av·b_row` and is the only backend-specific part.
+/// For each output element the partial products are added in ascending `p`
+/// order (blocks are visited in order) regardless of `update_row`'s
+/// internal unrolling, because each `(av, b_row)` pair updates every
+/// output element exactly once.
+#[inline]
+pub(crate) fn matmul_with<U>(
+    update_row: U,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) where
+    U: Fn(f32, &[f32], &mut [f32]),
+{
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
     assert_eq!(out.len(), m * n);
@@ -38,13 +58,61 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32
                 if av == 0.0 {
                     continue;
                 }
-                let b_row = &b[(p0 + dp) * n..(p0 + dp + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
+                update_row(av, &b[(p0 + dp) * n..(p0 + dp + 1) * n], out_row);
             }
         }
         p0 = p1;
+    }
+}
+
+/// `out[m×n] = a[m×k] · b[k×n]` (row-major). `out` is overwritten.
+///
+/// Blocked over `k` so the active `b` panel stays in cache while every row
+/// of `a` sweeps it. For each output element the partial products are
+/// still added in ascending `p` order (blocks are visited in order), so
+/// the result is bit-identical to the unblocked loop.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    matmul_with(axpy, a, b, m, k, n, out);
+}
+
+/// Shared driver for the `a·bᵀ (+ bias) (+ ReLU)` family: row iteration
+/// and relu-mask bookkeeping are common to every backend; `row_kernel`
+/// computes one output row (same signature as [`a_bt_row`]).
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel: dims + operands
+#[inline]
+pub(crate) fn a_bt_with<R>(
+    row_kernel: R,
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    relu_mask: Option<&mut Vec<bool>>,
+) where
+    R: Fn(&[f32], &[f32], usize, usize, &mut [f32], Option<&[f32]>, bool),
+{
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), n);
+    }
+    assert_eq!(out.len(), m * n);
+    let fuse_relu = relu_mask.is_some();
+    if let Some(mask) = &relu_mask {
+        debug_assert!(mask.is_empty());
+    }
+    let mut mask_store = relu_mask;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        row_kernel(a_row, b, k, n, out_row, bias, fuse_relu);
+        if let Some(mask) = mask_store.as_deref_mut() {
+            // out_row already holds max(acc + bias, 0); positives gate the
+            // backward pass.
+            mask.extend(out_row.iter().map(|&v| v > 0.0));
+        }
     }
 }
 
@@ -55,14 +123,7 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32
 /// the CPU four independent FMA chains. Each accumulator sums in the same
 /// order as [`dot`], so results are bit-identical to the naive loop.
 pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), n * k);
-    assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        a_bt_row(a_row, b, k, n, out_row, None, false);
-    }
+    a_bt_with(a_bt_row, a, b, None, m, k, n, out, None);
 }
 
 /// Fused forward kernel: `out[m×n] = a[m×k] · bᵀ + bias` (bias broadcast
@@ -80,25 +141,7 @@ pub fn matmul_a_bt_bias(
     out: &mut [f32],
     relu_mask: Option<&mut Vec<bool>>,
 ) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), n * k);
-    assert_eq!(bias.len(), n);
-    assert_eq!(out.len(), m * n);
-    let fuse_relu = relu_mask.is_some();
-    if let Some(mask) = &relu_mask {
-        debug_assert!(mask.is_empty());
-    }
-    let mut mask_store = relu_mask;
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        a_bt_row(a_row, b, k, n, out_row, Some(bias), fuse_relu);
-        if let Some(mask) = mask_store.as_deref_mut() {
-            // out_row already holds max(acc + bias, 0); positives gate the
-            // backward pass.
-            mask.extend(out_row.iter().map(|&v| v > 0.0));
-        }
-    }
+    a_bt_with(a_bt_row, a, b, Some(bias), m, k, n, out, relu_mask);
 }
 
 /// One row of the `a·bᵀ (+ bias) (+ ReLU)` family: 4-way register
@@ -150,6 +193,60 @@ fn a_bt_row(
     }
 }
 
+/// Shared driver for the lane-blocked fused forward: lane/row iteration,
+/// shared-input resolution and mask bookkeeping are common to every
+/// backend; `row_kernel` computes one `(row, lane)` output row.
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel: dims + operands
+#[inline]
+pub(crate) fn lane_a_bt_bias_with<R>(
+    row_kernel: R,
+    a: &[f32],
+    a_shared: bool,
+    w: &[f32],
+    bias: &[f32],
+    lanes: usize,
+    active: &[bool],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    mut relu_masks: Option<&mut [bool]>,
+) where
+    R: Fn(&[f32], &[f32], usize, usize, &mut [f32], Option<&[f32]>, bool),
+{
+    assert_eq!(a.len(), if a_shared { m * k } else { lanes * m * k });
+    assert_eq!(w.len(), lanes * n * k);
+    assert_eq!(bias.len(), lanes * n);
+    assert_eq!(active.len(), lanes);
+    assert_eq!(out.len(), lanes * m * n);
+    if let Some(masks) = &relu_masks {
+        assert_eq!(masks.len(), lanes * m * n);
+    }
+    let fuse_relu = relu_masks.is_some();
+    for l in 0..lanes {
+        if !active[l] {
+            continue;
+        }
+        let w_l = &w[l * n * k..(l + 1) * n * k];
+        let bias_l = &bias[l * n..(l + 1) * n];
+        for i in 0..m {
+            let a_row = if a_shared {
+                &a[i * k..(i + 1) * k]
+            } else {
+                &a[(l * m + i) * k..(l * m + i + 1) * k]
+            };
+            let out_row = &mut out[(l * m + i) * n..(l * m + i + 1) * n];
+            row_kernel(a_row, w_l, k, n, out_row, Some(bias_l), fuse_relu);
+            if let Some(masks) = relu_masks.as_deref_mut() {
+                let mask_row = &mut masks[(l * m + i) * n..(l * m + i + 1) * n];
+                for (mk, &v) in mask_row.iter_mut().zip(out_row.iter()) {
+                    *mk = v > 0.0;
+                }
+            }
+        }
+    }
+}
+
 /// Lane-blocked fused forward for `lanes` parameter lanes over one input:
 /// `out[l] = a_l · W_lᵀ + bias_l` (optionally ReLU-clamped), where `W_l`,
 /// `bias_l` and `out[l]` are the `l`-th slices of the lane-contiguous
@@ -179,36 +276,61 @@ pub fn lane_matmul_a_bt_bias(
     k: usize,
     n: usize,
     out: &mut [f32],
-    mut relu_masks: Option<&mut [bool]>,
+    relu_masks: Option<&mut [bool]>,
 ) {
-    assert_eq!(a.len(), if a_shared { m * k } else { lanes * m * k });
-    assert_eq!(w.len(), lanes * n * k);
-    assert_eq!(bias.len(), lanes * n);
+    lane_a_bt_bias_with(
+        a_bt_row, a, a_shared, w, bias, lanes, active, m, k, n, out, relu_masks,
+    );
+}
+
+/// Shared driver for the lane-blocked gradient accumulation: lane/row
+/// iteration, zero-skip and the fused bias row-sums are common to every
+/// backend; `update_row` performs `gw_row ← gw_row + gv·in_row`.
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel: dims + operands
+#[inline]
+pub(crate) fn lane_at_b_accum_with<U>(
+    update_row: U,
+    grad_out: &[f32],
+    input: &[f32],
+    input_shared: bool,
+    lanes: usize,
+    active: &[bool],
+    m: usize,
+    k: usize,
+    n: usize,
+    grad_w: &mut [f32],
+    grad_b: &mut [f32],
+) where
+    U: Fn(f32, &[f32], &mut [f32]),
+{
+    assert_eq!(grad_out.len(), lanes * m * k);
+    assert_eq!(
+        input.len(),
+        if input_shared { m * n } else { lanes * m * n }
+    );
     assert_eq!(active.len(), lanes);
-    assert_eq!(out.len(), lanes * m * n);
-    if let Some(masks) = &relu_masks {
-        assert_eq!(masks.len(), lanes * m * n);
-    }
-    let fuse_relu = relu_masks.is_some();
+    assert_eq!(grad_w.len(), lanes * k * n);
+    assert_eq!(grad_b.len(), lanes * k);
     for l in 0..lanes {
         if !active[l] {
             continue;
         }
-        let w_l = &w[l * n * k..(l + 1) * n * k];
-        let bias_l = &bias[l * n..(l + 1) * n];
+        let gw = &mut grad_w[l * k * n..(l + 1) * k * n];
+        let gb = &mut grad_b[l * k..(l + 1) * k];
         for i in 0..m {
-            let a_row = if a_shared {
-                &a[i * k..(i + 1) * k]
+            let g_row = &grad_out[(l * m + i) * k..(l * m + i + 1) * k];
+            let in_row = if input_shared {
+                &input[i * n..(i + 1) * n]
             } else {
-                &a[(l * m + i) * k..(l * m + i + 1) * k]
+                &input[(l * m + i) * n..(l * m + i + 1) * n]
             };
-            let out_row = &mut out[(l * m + i) * n..(l * m + i + 1) * n];
-            a_bt_row(a_row, w_l, k, n, out_row, Some(bias_l), fuse_relu);
-            if let Some(masks) = relu_masks.as_deref_mut() {
-                let mask_row = &mut masks[(l * m + i) * n..(l * m + i + 1) * n];
-                for (mk, &v) in mask_row.iter_mut().zip(out_row.iter()) {
-                    *mk = v > 0.0;
+            for (p, &gv) in g_row.iter().enumerate() {
+                if gv != 0.0 {
+                    update_row(gv, in_row, &mut gw[p * n..(p + 1) * n]);
                 }
+            }
+            for (g, &d) in gb.iter_mut().zip(g_row) {
+                *g += d;
             }
         }
     }
@@ -238,45 +360,36 @@ pub fn lane_matmul_at_b_accum(
     grad_w: &mut [f32],
     grad_b: &mut [f32],
 ) {
-    assert_eq!(grad_out.len(), lanes * m * k);
-    assert_eq!(
-        input.len(),
-        if input_shared { m * n } else { lanes * m * n }
+    lane_at_b_accum_with(
+        axpy,
+        grad_out,
+        input,
+        input_shared,
+        lanes,
+        active,
+        m,
+        k,
+        n,
+        grad_w,
+        grad_b,
     );
-    assert_eq!(active.len(), lanes);
-    assert_eq!(grad_w.len(), lanes * k * n);
-    assert_eq!(grad_b.len(), lanes * k);
-    for l in 0..lanes {
-        if !active[l] {
-            continue;
-        }
-        let gw = &mut grad_w[l * k * n..(l + 1) * k * n];
-        let gb = &mut grad_b[l * k..(l + 1) * k];
-        for i in 0..m {
-            let g_row = &grad_out[(l * m + i) * k..(l * m + i + 1) * k];
-            let in_row = if input_shared {
-                &input[i * n..(i + 1) * n]
-            } else {
-                &input[(l * m + i) * n..(l * m + i + 1) * n]
-            };
-            for (p, &gv) in g_row.iter().enumerate() {
-                if gv != 0.0 {
-                    let out_row = &mut gw[p * n..(p + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(in_row) {
-                        *o += gv * bv;
-                    }
-                }
-            }
-            for (g, &d) in gb.iter_mut().zip(g_row) {
-                *g += d;
-            }
-        }
-    }
 }
 
-/// `out[k×n] += aᵀ · b` where `a` is `m×k` and `b` is `m×n` (row-major).
-/// Accumulates into `out` (gradient accumulation).
-pub fn matmul_at_b_accum(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+/// Shared driver for `out[k×n] += aᵀ · b`: row iteration and zero-skip
+/// are common to every backend; `update_row` performs
+/// `out_row ← out_row + av·b_row`.
+#[inline]
+pub(crate) fn at_b_accum_with<U>(
+    update_row: U,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) where
+    U: Fn(f32, &[f32], &mut [f32]),
+{
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), m * n);
     assert_eq!(out.len(), k * n);
@@ -287,12 +400,15 @@ pub fn matmul_at_b_accum(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out
             if av == 0.0 {
                 continue;
             }
-            let out_row = &mut out[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            update_row(av, b_row, &mut out[p * n..(p + 1) * n]);
         }
     }
+}
+
+/// `out[k×n] += aᵀ · b` where `a` is `m×k` and `b` is `m×n` (row-major).
+/// Accumulates into `out` (gradient accumulation).
+pub fn matmul_at_b_accum(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    at_b_accum_with(axpy, a, b, m, k, n, out);
 }
 
 /// Dot product.

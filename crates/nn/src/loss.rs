@@ -2,6 +2,8 @@
 //! squared error (regression; the Donahue–Kleinberg analysis in
 //! `fedval-theory` uses its closed form).
 
+use crate::backend::{Backend, LinalgBackend};
+
 /// Numerically stable softmax over each row of `logits`
 /// (`batch × classes`), in place.
 pub fn softmax_in_place(logits: &mut [f32], classes: usize) {
@@ -59,21 +61,20 @@ pub fn argmax_rows(logits: &[f32], classes: usize) -> Vec<u32> {
 }
 
 /// Mean squared error and gradient: `L = Σ (ŷ − y)² / batch`.
+///
+/// The loss reduction runs through the linalg backend (`Σd² = ⟨d, d⟩`).
+/// Loss helpers are free functions with no config handle, so this uses
+/// the *process-wide* `FEDVAL_BACKEND` selection — not any per-utility
+/// override. Under the (default) reference backend the ascending-index
+/// sum is unchanged from the historical inline loop.
 pub fn mse(pred: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
     assert_eq!(pred.len(), target.len());
     assert!(!pred.is_empty());
     let n = pred.len() as f32;
-    let mut loss = 0.0f32;
-    let grad = pred
-        .iter()
-        .zip(target)
-        .map(|(&p, &t)| {
-            let d = p - t;
-            loss += d * d;
-            2.0 * d / n
-        })
-        .collect();
-    (loss / n, grad)
+    let diff: Vec<f32> = pred.iter().zip(target).map(|(&p, &t)| p - t).collect();
+    let loss = Backend::default().dot(&diff, &diff) / n;
+    let grad = diff.iter().map(|&d| 2.0 * d / n).collect();
+    (loss, grad)
 }
 
 #[cfg(test)]

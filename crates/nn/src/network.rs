@@ -7,6 +7,7 @@ use rand::{Rng, SeedableRng};
 
 use fedval_data::Dataset;
 
+use crate::backend::Backend;
 use crate::layers::Layer;
 use crate::loss::{argmax_rows, softmax_cross_entropy};
 
@@ -53,6 +54,17 @@ impl Network {
     /// multi-lane counterpart).
     pub(crate) fn layers(&self) -> &[Box<dyn Layer>] {
         &self.layers
+    }
+
+    /// Select the linear-algebra backend for every layer's kernels. Lane
+    /// counterparts built afterwards via [`crate::lanes::MultiNetwork::from_network`]
+    /// inherit the choice. Layers default to the process-wide
+    /// `FEDVAL_BACKEND` selection, so this is only needed for programmatic
+    /// overrides (e.g. `FedAvgConfig { backend, .. }`).
+    pub fn set_backend(&mut self, backend: Backend) {
+        for layer in &mut self.layers {
+            layer.set_backend(backend);
+        }
     }
 
     /// Forward pass producing logits for a batch of flattened inputs.

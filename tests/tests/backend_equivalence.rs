@@ -1,0 +1,304 @@
+//! Cross-backend equivalence suite for the pluggable linalg backends.
+//!
+//! Property-style fuzz over random shapes — including degenerate
+//! `m/k/n ∈ {0, 1}` and widths straddling the Simd backend's 8-wide
+//! chunks and 4-column microkernel — asserting that every solo and lane
+//! kernel of the `Simd` backend agrees with `Reference` to ≤ 1e-5
+//! relative tolerance, that element-wise kernels agree *bit-for-bit*
+//! (vectorising independent output elements cannot reorder any single
+//! element's sum), and that each backend is internally deterministic:
+//! the lane path reproduces the same backend's solo path exactly, and an
+//! FL utility run under the Simd backend keeps the full
+//! cache→parallel→lock-step composition bit-identical.
+
+use fedval_core::coalition::{all_subsets, Coalition};
+use fedval_core::utility::{CachedUtility, ParallelUtility, Utility};
+use fedval_data::{MnistLike, SyntheticSetup};
+use fedval_fl::{FedAvgConfig, FlUtility, ModelSpec};
+use fedval_nn::backend::{rel_close, Backend, LinalgBackend, Reference, Simd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_all_close(reference: &[f32], simd: &[f32], what: &str) {
+    assert_eq!(reference.len(), simd.len(), "{what}: length mismatch");
+    for (i, (&r, &s)) in reference.iter().zip(simd).enumerate() {
+        assert!(rel_close(r, s), "{what}[{i}]: {r} vs {s}");
+    }
+}
+
+fn fill(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.random_range(-1.5..1.5f32)).collect()
+}
+
+/// Dimension pool: degenerate 0/1, widths around the 4-column register
+/// block and the 8-wide Simd chunk, and a KC-straddling length.
+const DIMS: [usize; 10] = [0, 1, 2, 3, 5, 7, 8, 9, 16, 33];
+
+/// A second pool for the shared dimension including a KC (128) straddler.
+const K_DIMS: [usize; 10] = [0, 1, 4, 7, 8, 9, 15, 31, 64, 130];
+
+#[test]
+fn solo_kernels_agree_across_backends_over_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xBAC0);
+    for trial in 0..60 {
+        let m = DIMS[rng.random_range(0..DIMS.len())];
+        let k = K_DIMS[rng.random_range(0..K_DIMS.len())];
+        let n = DIMS[rng.random_range(0..DIMS.len())];
+        let label = format!("trial {trial} m={m} k={k} n={n}");
+
+        // matmul: element-wise parallel, must agree bit-for-bit.
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        let mut out_r = vec![0.0f32; m * n];
+        let mut out_s = vec![0.0f32; m * n];
+        Reference.matmul(&a, &b, m, k, n, &mut out_r);
+        Simd.matmul(&a, &b, m, k, n, &mut out_s);
+        assert_eq!(out_r, out_s, "matmul {label}");
+
+        // matmul_a_bt: reduction family, tolerance-gated.
+        let bt = fill(&mut rng, n * k);
+        Reference.matmul_a_bt(&a, &bt, m, k, n, &mut out_r);
+        Simd.matmul_a_bt(&a, &bt, m, k, n, &mut out_s);
+        assert_all_close(&out_r, &out_s, &format!("matmul_a_bt {label}"));
+
+        // matmul_a_bt_bias, with and without fused ReLU.
+        let bias = fill(&mut rng, n);
+        Reference.matmul_a_bt_bias(&a, &bt, &bias, m, k, n, &mut out_r, None);
+        Simd.matmul_a_bt_bias(&a, &bt, &bias, m, k, n, &mut out_s, None);
+        assert_all_close(&out_r, &out_s, &format!("matmul_a_bt_bias {label}"));
+        let mut mask_r = Vec::new();
+        let mut mask_s = Vec::new();
+        Reference.matmul_a_bt_bias(&a, &bt, &bias, m, k, n, &mut out_r, Some(&mut mask_r));
+        Simd.matmul_a_bt_bias(&a, &bt, &bias, m, k, n, &mut out_s, Some(&mut mask_s));
+        // ReLU is 1-Lipschitz: clamped outputs stay within tolerance
+        // (masks may legitimately differ at exact-zero crossings).
+        assert_all_close(&out_r, &out_s, &format!("matmul_a_bt_bias+relu {label}"));
+        assert_eq!(mask_r.len(), m * n);
+        assert_eq!(mask_s.len(), m * n);
+
+        // matmul_at_b_accum: element-wise parallel accumulation onto a
+        // shared non-zero start, bit-identical.
+        let g = fill(&mut rng, m * k);
+        let x = fill(&mut rng, m * n);
+        let mut acc_r = fill(&mut rng, k * n);
+        let mut acc_s = acc_r.clone();
+        Reference.matmul_at_b_accum(&g, &x, m, k, n, &mut acc_r);
+        Simd.matmul_at_b_accum(&g, &x, m, k, n, &mut acc_s);
+        assert_eq!(acc_r, acc_s, "matmul_at_b_accum {label}");
+    }
+}
+
+#[test]
+fn lane_kernels_agree_across_backends_over_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xBAC1);
+    for trial in 0..40 {
+        let lanes = rng.random_range(1..5usize);
+        let m = DIMS[rng.random_range(0..DIMS.len())];
+        let k = K_DIMS[rng.random_range(0..K_DIMS.len())];
+        let n = DIMS[rng.random_range(0..DIMS.len())];
+        let shared = rng.random_range(0..2u32) == 0;
+        let relu = rng.random_range(0..2u32) == 0;
+        // Random active mask, at least one lane on.
+        let mut active: Vec<bool> = (0..lanes).map(|_| rng.random_range(0..2u32) == 0).collect();
+        active[rng.random_range(0..lanes)] = true;
+        let label =
+            format!("trial {trial} B={lanes} m={m} k={k} n={n} shared={shared} relu={relu}");
+
+        // Lane forward.
+        let a = fill(&mut rng, if shared { m * k } else { lanes * m * k });
+        let w = fill(&mut rng, lanes * n * k);
+        let bias = fill(&mut rng, lanes * n);
+        let mut out_r = vec![7.5f32; lanes * m * n];
+        let mut out_s = out_r.clone();
+        let mut masks_r = vec![false; lanes * m * n];
+        let mut masks_s = vec![false; lanes * m * n];
+        Reference.lane_matmul_a_bt_bias(
+            &a,
+            shared,
+            &w,
+            &bias,
+            lanes,
+            &active,
+            m,
+            k,
+            n,
+            &mut out_r,
+            if relu { Some(&mut masks_r) } else { None },
+        );
+        Simd.lane_matmul_a_bt_bias(
+            &a,
+            shared,
+            &w,
+            &bias,
+            lanes,
+            &active,
+            m,
+            k,
+            n,
+            &mut out_s,
+            if relu { Some(&mut masks_s) } else { None },
+        );
+        assert_all_close(&out_r, &out_s, &format!("lane_forward {label}"));
+        for l in 0..lanes {
+            if !active[l] {
+                // Inactive lanes untouched by either backend.
+                assert!(out_r[l * m * n..(l + 1) * m * n].iter().all(|&v| v == 7.5));
+                assert!(out_s[l * m * n..(l + 1) * m * n].iter().all(|&v| v == 7.5));
+            }
+        }
+
+        // Lane gradient accumulation (element-wise: bit-identical),
+        // onto non-zero accumulators.
+        let grad = fill(&mut rng, lanes * m * k);
+        let input = fill(&mut rng, if shared { m * n } else { lanes * m * n });
+        let mut gw_r = fill(&mut rng, lanes * k * n);
+        let mut gw_s = gw_r.clone();
+        let mut gb_r = fill(&mut rng, lanes * k);
+        let mut gb_s = gb_r.clone();
+        Reference.lane_matmul_at_b_accum(
+            &grad, &input, shared, lanes, &active, m, k, n, &mut gw_r, &mut gb_r,
+        );
+        Simd.lane_matmul_at_b_accum(
+            &grad, &input, shared, lanes, &active, m, k, n, &mut gw_s, &mut gb_s,
+        );
+        assert_eq!(gw_r, gw_s, "lane_grad_w {label}");
+        assert_eq!(gb_r, gb_s, "lane_grad_b {label}");
+    }
+}
+
+#[test]
+fn scalar_helpers_agree_across_backends() {
+    let mut rng = StdRng::seed_from_u64(0xBAC2);
+    for &len in &[0usize, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 100, 1023] {
+        let a = fill(&mut rng, len);
+        let b = fill(&mut rng, len);
+        assert!(
+            rel_close(Reference.dot(&a, &b), Simd.dot(&a, &b)),
+            "dot len {len}"
+        );
+        assert!(
+            rel_close(Reference.norm2(&a), Simd.norm2(&a)),
+            "norm2 len {len}"
+        );
+        // axpy is element-wise: bit-identical.
+        let mut y_r = fill(&mut rng, len);
+        let mut y_s = y_r.clone();
+        Reference.axpy(0.731, &a, &mut y_r);
+        Simd.axpy(0.731, &a, &mut y_s);
+        assert_eq!(y_r, y_s, "axpy len {len}");
+    }
+}
+
+#[test]
+fn each_backend_lane_path_is_bit_identical_to_its_own_solo_path() {
+    // The per-backend lock-step contract at the kernel level: whichever
+    // backend runs, the lane kernel must reproduce that backend's solo
+    // kernel exactly — this is what makes batched FL valuation values
+    // independent of lane grouping under *any* backend.
+    let mut rng = StdRng::seed_from_u64(0xBAC3);
+    let (lanes, m, k, n) = (3usize, 5usize, 19usize, 9usize);
+    let a = fill(&mut rng, m * k);
+    let w = fill(&mut rng, lanes * n * k);
+    let bias = fill(&mut rng, lanes * n);
+    let active = vec![true; lanes];
+    for backend in [Backend::Reference, Backend::Simd] {
+        let mut lane_out = vec![0.0f32; lanes * m * n];
+        let mut lane_masks = vec![false; lanes * m * n];
+        backend.lane_matmul_a_bt_bias(
+            &a,
+            true,
+            &w,
+            &bias,
+            lanes,
+            &active,
+            m,
+            k,
+            n,
+            &mut lane_out,
+            Some(&mut lane_masks),
+        );
+        for l in 0..lanes {
+            let mut solo = vec![0.0f32; m * n];
+            let mut solo_mask = Vec::new();
+            backend.matmul_a_bt_bias(
+                &a,
+                &w[l * n * k..(l + 1) * n * k],
+                &bias[l * n..(l + 1) * n],
+                m,
+                k,
+                n,
+                &mut solo,
+                Some(&mut solo_mask),
+            );
+            assert_eq!(
+                &lane_out[l * m * n..(l + 1) * m * n],
+                &solo[..],
+                "{backend:?} lane {l}"
+            );
+            assert_eq!(&lane_masks[l * m * n..(l + 1) * m * n], &solo_mask[..]);
+        }
+    }
+}
+
+fn fl_utility(backend: Backend) -> FlUtility {
+    let gen = MnistLike::new(0xBE);
+    let (train, test) = gen.generate_split(180, 90, 0xBF);
+    let mut rng = StdRng::seed_from_u64(0xC0);
+    let clients = SyntheticSetup::SameSizeSameDist.partition(&train, 3, &mut rng);
+    FlUtility::new(
+        clients,
+        test,
+        ModelSpec::default_mlp(),
+        FedAvgConfig {
+            seed: 11,
+            backend,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn simd_backend_keeps_the_full_evaluation_stack_deterministic() {
+    // Under the Simd backend, the whole cache → parallel → lock-step
+    // composition must stay bit-identical to serially mapped solo
+    // evaluations — determinism is per backend, not a Reference-only
+    // property.
+    let coalitions: Vec<Coalition> = all_subsets(3).collect();
+    let mapped: Vec<f64> = {
+        let u = fl_utility(Backend::Simd);
+        coalitions.iter().map(|&s| u.eval(s)).collect()
+    };
+    for lane_block in [1usize, 2, 8] {
+        let u = fl_utility(Backend::Simd).with_lane_block(lane_block);
+        assert_eq!(u.eval_batch(&coalitions), mapped, "lane_block {lane_block}");
+    }
+    for threads in [2usize, 4] {
+        let u = CachedUtility::new(ParallelUtility::with_num_threads(
+            fl_utility(Backend::Simd),
+            threads,
+        ));
+        assert_eq!(u.eval_batch(&coalitions), mapped, "threads {threads}");
+        assert_eq!(u.stats().evaluations, coalitions.len());
+    }
+}
+
+#[test]
+fn backends_train_to_close_but_independent_utilities() {
+    // The two backends round reductions differently, so trained models
+    // may differ in late digits — but both must learn: the full
+    // coalition beats the empty one under each backend, and U(∅)
+    // (accuracy of the shared untrained init, a forward-only quantity)
+    // agrees closely across backends.
+    let reference = fl_utility(Backend::Reference);
+    let simd = fl_utility(Backend::Simd);
+    let empty_r = reference.eval(Coalition::empty());
+    let empty_s = simd.eval(Coalition::empty());
+    assert!(
+        (empty_r - empty_s).abs() < 0.06,
+        "U(∅): {empty_r} vs {empty_s}"
+    );
+    let full_r = reference.eval(Coalition::full(3));
+    let full_s = simd.eval(Coalition::full(3));
+    assert!(full_r > empty_r + 0.15, "reference failed to learn");
+    assert!(full_s > empty_s + 0.15, "simd failed to learn");
+}
