@@ -338,9 +338,7 @@ mod tests {
         assert_eq!(u.stats().evaluations, 10, "exactly γ evaluations");
         // Balanced coverage: 5 pairs over 4 clients ⇒ spread ≤ 1.
         let cov = coverage_counts(4, &out.sampled);
-        let max = *cov.iter().max().unwrap();
-        let min = *cov.iter().min().unwrap();
-        assert!(max - min <= 1);
+        assert!(crate::sampling::coverage_spread(&cov) <= 1);
     }
 
     #[test]

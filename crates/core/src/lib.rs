@@ -84,7 +84,7 @@ pub mod prelude {
     };
     pub use crate::utility::{
         AdditiveUtility, CachedUtility, EvalStats, HashUtility, NoisyUtility, ParallelUtility,
-        SaturatingUtility, TableUtility, Utility, WeightedMajorityUtility,
+        SaturatingUtility, TableUtility, TrajCacheStats, Utility, WeightedMajorityUtility,
     };
     pub use crate::valuation::{run_valuation, ValuationOutcome};
 }

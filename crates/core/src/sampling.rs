@@ -74,10 +74,22 @@ pub fn balanced_subsets_of_size<R: Rng + ?Sized>(
     count: usize,
     rng: &mut R,
 ) -> Vec<Coalition> {
-    assert!(k >= 1 && k <= n);
+    // Degenerate strata are answered, not asserted on: `k > n` names an
+    // empty stratum (nothing to sample), while `k = 0` — including the
+    // `n = 0` corner — has the single member `∅` and obeys the
+    // whole-stratum rule below. These arise naturally from callers that
+    // derive `k` from a budget (IPSS's `k* + 1` can exceed `n`), and
+    // asserting here used to panic the whole valuation run.
+    if k > n {
+        return Vec::new();
+    }
     let stratum_size = binom_u128(n, k);
     if count as u128 >= stratum_size {
         return subsets_of_size(n, k).collect();
+    }
+    if k == 0 || count == 0 {
+        // count < stratum_size with k = 0 means count = 0.
+        return Vec::new();
     }
     let mut coverage = vec![0u32; n];
     let mut chosen: HashSet<u128> = HashSet::with_capacity(count * 2);
@@ -130,8 +142,12 @@ fn repair_coverage<R: Rng + ?Sized>(
     rng: &mut R,
 ) {
     for _ in 0..out.len() * 4 {
-        let max = *coverage.iter().max().unwrap();
-        let min = *coverage.iter().min().unwrap();
+        // Guarded min/max: an empty coverage vector (n = 0, or an empty
+        // stratum that produced no coalitions) has nothing to repair and
+        // used to panic on `.max().unwrap()`.
+        let (Some(&max), Some(&min)) = (coverage.iter().max(), coverage.iter().min()) else {
+            return;
+        };
         if max - min <= 1 {
             return;
         }
@@ -180,6 +196,17 @@ pub fn coverage_counts(n: usize, subsets: &[Coalition]) -> Vec<u32> {
         }
     }
     cov
+}
+
+/// Coverage spread `max_i C_i − min_i C_i` of a coverage vector, with the
+/// empty vector (no clients) defined as perfectly balanced (spread 0) —
+/// the guarded form of the `max().unwrap() − min().unwrap()` idiom, which
+/// panics on `n = 0` or an empty stratum.
+pub fn coverage_spread(cov: &[u32]) -> u32 {
+    match (cov.iter().max(), cov.iter().min()) {
+        (Some(&max), Some(&min)) => max - min,
+        _ => 0,
+    }
 }
 
 #[cfg(test)]
@@ -256,11 +283,10 @@ mod tests {
             let set: HashSet<u128> = subs.iter().map(|s| s.0).collect();
             assert_eq!(set.len(), count, "distinctness");
             let cov = coverage_counts(n, &subs);
-            let max = *cov.iter().max().unwrap();
-            let min = *cov.iter().min().unwrap();
+            let spread = coverage_spread(&cov);
             assert!(
-                max - min <= 1,
-                "coverage spread {max}-{min} for n={n} k={k} count={count}: {cov:?}"
+                spread <= 1,
+                "coverage spread {spread} for n={n} k={k} count={count}: {cov:?}"
             );
             let total: u32 = cov.iter().sum();
             assert_eq!(total as usize, count * k);
@@ -281,6 +307,39 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let subs = balanced_subsets_of_size(5, 2, 100, &mut rng);
         assert_eq!(subs.len(), 10);
+    }
+
+    #[test]
+    fn balanced_subsets_degenerate_inputs_do_not_panic() {
+        // Regression: n = 0 (empty coverage vector) and k > n (empty
+        // stratum) used to trip `assert!(k >= 1 && k <= n)` or panic in
+        // the coverage-repair pass; they now return sane defaults.
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(balanced_subsets_of_size(0, 0, 0, &mut rng).is_empty());
+        // n = 0 still has the k = 0 stratum {∅} (whole-stratum rule).
+        assert_eq!(
+            balanced_subsets_of_size(0, 0, 5, &mut rng),
+            vec![Coalition::empty()]
+        );
+        assert!(balanced_subsets_of_size(0, 3, 5, &mut rng).is_empty());
+        assert!(balanced_subsets_of_size(4, 7, 5, &mut rng).is_empty());
+        assert!(balanced_subsets_of_size(6, 2, 0, &mut rng).is_empty());
+        // k = 0: the stratum is exactly {∅}.
+        assert_eq!(
+            balanced_subsets_of_size(5, 0, 3, &mut rng),
+            vec![Coalition::empty()]
+        );
+        assert!(balanced_subsets_of_size(5, 0, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn coverage_spread_handles_empty_vectors() {
+        // Regression: the `cov.iter().max().unwrap()` idiom panicked on
+        // empty coverage vectors; the helper defines them as balanced.
+        assert_eq!(coverage_spread(&[]), 0);
+        assert_eq!(coverage_spread(&coverage_counts(0, &[])), 0);
+        assert_eq!(coverage_spread(&[3, 3, 3]), 0);
+        assert_eq!(coverage_spread(&[1, 4, 2]), 3);
     }
 
     #[test]

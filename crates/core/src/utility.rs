@@ -199,14 +199,63 @@ pub struct EvalStats {
 /// mask-keyed memo — the shared building block of the estimators that
 /// pay for each stratum once and fold from the memo afterwards (IPSS,
 /// K-Greedy, pruned Banzhaf).
+///
+/// Coalitions already memoised, and duplicates within the batch, are
+/// *not* forwarded to the utility: only the distinct misses reach
+/// `eval_batch`, in first-occurrence order. Against an uncached utility
+/// this is what keeps the evaluation count equal to the number of
+/// distinct coalitions actually paid for (the paper's `τ` accounting);
+/// against a [`CachedUtility`] it merely avoids redundant lookups.
 pub(crate) fn eval_batch_into_memo<U: Utility + ?Sized>(
     u: &U,
     batch: &[Coalition],
     memo: &mut HashMap<u128, f64>,
 ) {
-    let values = u.eval_batch(batch);
-    for (s, v) in batch.iter().zip(values) {
+    let mut scheduled: std::collections::HashSet<u128> = std::collections::HashSet::new();
+    let fresh: Vec<Coalition> = batch
+        .iter()
+        .copied()
+        .filter(|s| !memo.contains_key(&s.0) && scheduled.insert(s.0))
+        .collect();
+    if fresh.is_empty() {
+        return;
+    }
+    let values = u.eval_batch(&fresh);
+    debug_assert_eq!(values.len(), fresh.len());
+    for (s, v) in fresh.iter().zip(values) {
         memo.insert(s.0, v);
+    }
+}
+
+/// Statistics of a trajectory-level training cache — the per-client
+/// per-round memoisation one level *below* [`EvalStats`]'s whole-coalition
+/// accounting. The cache itself lives in the FL substrate (`fedval-fl`'s
+/// `TrajectoryCache`), which memoises local-training updates across
+/// lock-step lane blocks; this crate only defines the stats shape so that
+/// valuation drivers and benches can report coalition-level cost
+/// ([`EvalStats::evaluations`]) and training-level cost side by side.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrajCacheStats {
+    /// Cache probes: one per (round-start params, client, round) group a
+    /// lock-step engine considered training.
+    pub probes: usize,
+    /// Probes answered from the cache — local trainings *not* paid.
+    pub hits: usize,
+    /// Local trainings actually performed (probe misses, plus every
+    /// group trained while the cache ran in counting-only mode).
+    pub local_trainings: usize,
+    /// The subset of `local_trainings` that occurred in round 0 — the
+    /// round every coalition shares a bit-equal round-start model, so a
+    /// cross-block cache should pay it once per client per sweep.
+    pub round0_trainings: usize,
+}
+
+impl TrajCacheStats {
+    /// Probes that found nothing cached (`probes − hits`). Saturating:
+    /// a stats snapshot read while other threads probe a shared cache can
+    /// observe the hit of a probe it did not yet count.
+    pub fn misses(&self) -> usize {
+        self.probes.saturating_sub(self.hits)
     }
 }
 
@@ -723,6 +772,49 @@ mod tests {
         assert_eq!(u.stats().lookups, 6);
         // Mixed eval/eval_batch agree.
         assert_eq!(u.eval(s01), batch[0]);
+    }
+
+    #[test]
+    fn eval_batch_into_memo_dedups_against_memo_and_within_batch() {
+        // Regression: memoised coalitions and within-batch duplicates
+        // used to be forwarded to the utility anyway, so an *uncached*
+        // utility paid for them again. Count exactly what reaches it.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting {
+            inner: TableUtility,
+            calls: AtomicUsize,
+        }
+        impl Utility for Counting {
+            fn n_clients(&self) -> usize {
+                self.inner.n_clients()
+            }
+            fn eval(&self, s: Coalition) -> f64 {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                self.inner.eval(s)
+            }
+        }
+        let u = Counting {
+            inner: TableUtility::paper_table1(),
+            calls: AtomicUsize::new(0),
+        };
+        let s01 = Coalition::from_members([0, 1]);
+        let s2 = Coalition::singleton(2);
+        let s02 = Coalition::from_members([0, 2]);
+        let mut memo = HashMap::new();
+        memo.insert(s01.0, u.inner.eval(s01));
+        // Batch: one memo hit, two distinct misses (one duplicated twice).
+        eval_batch_into_memo(&u, &[s01, s2, s02, s2, s01, s2], &mut memo);
+        assert_eq!(
+            u.calls.load(Ordering::Relaxed),
+            2,
+            "only the distinct misses may reach the utility"
+        );
+        assert_eq!(memo.len(), 3);
+        assert_eq!(memo[&s2.0], u.inner.eval(s2));
+        assert_eq!(memo[&s02.0], u.inner.eval(s02));
+        // A fully-memoised batch must not touch the utility at all.
+        eval_batch_into_memo(&u, &[s01, s2, s02], &mut memo);
+        assert_eq!(u.calls.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub struct FedAvgConfig {
     /// unset); values are deterministic *per backend*, so a cached
     /// utility must not mix backends.
     pub backend: Backend,
+    /// Whether batched evaluation memoises per-client per-round local
+    /// training updates across lock-step lane blocks (the trajectory
+    /// cache — `crate::trajcache`). Values are bit-identical either way;
+    /// the cache only removes redundant trainings. Defaults to the
+    /// process-wide `FEDVAL_TRAJCACHE` selection: enabled unless set to
+    /// `0`/`false`/`off`.
+    pub traj_cache: bool,
 }
 
 impl Default for FedAvgConfig {
@@ -62,12 +69,28 @@ impl Default for FedAvgConfig {
             participation: 1.0,
             server_lr: 1.0,
             backend: Backend::default(),
+            traj_cache: trajcache_from_env(),
         }
     }
 }
 
+/// Process-wide default of [`FedAvgConfig::traj_cache`], resolved once
+/// from `FEDVAL_TRAJCACHE`: `0`/`false`/`off` (any case) disables the
+/// trajectory cache, anything else — including unset — enables it. The
+/// CI matrix runs both states in every backend × thread cell.
+pub fn trajcache_from_env() -> bool {
+    static ENV_TRAJCACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENV_TRAJCACHE.get_or_init(|| match std::env::var("FEDVAL_TRAJCACHE") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => true,
+    })
+}
+
 #[inline]
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -20,6 +20,19 @@
 //! lane's solo run bit-for-bit (asserted in
 //! `tests/tests/lockstep_equivalence.rs`), which keeps memoisation sound
 //! and batched valuation results independent of lane grouping.
+//!
+//! The contract extends to *cache hits*: a client's local training is a
+//! pure function of `(round-start params, client, round)` under a fixed
+//! `(spec, clients, cfg)`, so replaying a memoised update
+//! ([`crate::trajcache::TrajectoryCache`]) — whether the trajectories
+//! coincided within one lane block, across blocks, or across separate
+//! `eval_batch` calls sharing the cache — substitutes bits the training
+//! would have produced anyway. Cached and uncached sweeps are therefore
+//! bit-identical per backend (asserted in
+//! `tests/tests/trajcache_equivalence.rs`), and results stay independent
+//! of both lane grouping and cache state.
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,6 +44,7 @@ use fedval_nn::{LinalgBackend, MultiNetwork, Network};
 use crate::config::{init_seed, local_seed, FedAvgConfig, FlAlgorithm};
 use crate::history::TrainingHistory;
 use crate::model::ModelSpec;
+use crate::trajcache::{class_lanes, TrajectoryCache};
 
 /// Train an FL model on the datasets of `coalition` with FedAvg.
 ///
@@ -202,6 +216,19 @@ fn fill_participants(members: &[usize], cfg: &FedAvgConfig, round: usize, out: &
     out.truncate(k);
 }
 
+/// Membership bitset of a participant list: bit `i` set iff client `i`
+/// participates. Client indices fit in a `u128` by the [`Coalition`]
+/// representation (`MAX_CLIENTS = 128`), so the lock-step engine's
+/// per-client activity test is one shift instead of a list scan per lane.
+#[inline]
+pub(crate) fn participant_mask(participants: &[usize]) -> u128 {
+    let mut mask = 0u128;
+    for &i in participants {
+        mask |= 1u128 << i;
+    }
+    mask
+}
+
 /// Train `B = coalitions.len()` FL models in lock-step, one parameter lane
 /// per coalition — the batched FedAvg engine.
 ///
@@ -250,6 +277,26 @@ pub fn train_coalitions_params(
     coalitions: &[Coalition],
     cfg: &FedAvgConfig,
 ) -> Vec<Vec<f32>> {
+    train_coalitions_params_with_cache(spec, clients, input, classes, coalitions, cfg, None)
+}
+
+/// [`train_coalitions_params`] with an optional [`TrajectoryCache`]: before
+/// training a lane group's representative for client `i` in round `r`, the
+/// engine probes the cache under `(hash of the group's round-start params,
+/// i, r)` and replays a hit instead of training; misses train as usual and
+/// insert their update. The cache must only be shared across calls with
+/// identical `(spec, clients, input, classes, cfg)` — see the soundness
+/// contract in [`crate::trajcache`]. Results are bit-identical to the
+/// uncached path.
+pub fn train_coalitions_params_with_cache(
+    spec: &ModelSpec,
+    clients: &[Dataset],
+    input: usize,
+    classes: usize,
+    coalitions: &[Coalition],
+    cfg: &FedAvgConfig,
+    cache: Option<&TrajectoryCache>,
+) -> Vec<Vec<f32>> {
     let n = clients.len();
     let lanes = coalitions.len();
     if lanes == 0 {
@@ -281,45 +328,48 @@ pub fn train_coalitions_params(
     // per-client deltas, the aggregation buffer and a params staging
     // buffer.
     let mut participants: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+    let mut member_mask: Vec<u128> = vec![0; lanes];
     let mut deltas: Vec<Vec<Option<Vec<f32>>>> = vec![(0..n).map(|_| None).collect(); lanes];
     let mut aggregate = vec![0.0f32; p];
     let mut lane_buf: Vec<f32> = Vec::with_capacity(p);
+    let mut delta_buf: Vec<f32> = Vec::with_capacity(p);
     let mut prox_dir: Vec<f32> = Vec::new();
     let mut active = vec![false; lanes];
 
     for round in 0..cfg.rounds {
         for (l, m) in members.iter().enumerate() {
             fill_participants(m, cfg, round, &mut participants[l]);
+            // Per-round membership bitset per lane (clients fit in u128 by
+            // the Coalition representation), so the per-client loop below
+            // tests participation in O(1) instead of scanning the
+            // participant list per lane per client.
+            member_mask[l] = participant_mask(&participants[l]);
         }
         // Shared-trajectory grouping: a client's local training is a pure
         // function of (round-start params, client data, the
         // coalition-independent RNG stream), so lanes whose bases are
         // bit-equal would compute *identical* updates. Partition the lanes
         // by base equality once per round (bases are fixed until
-        // aggregation); per client, only the active lanes of each class
-        // train — one representative each, its update copied to the rest.
-        // Every lane coincides in round 0 (one shared server init), so the
-        // first round costs one local training per client per block
-        // instead of one per lane — and later rounds still coalesce
-        // duplicated or converged trajectories.
-        let mut class_of = vec![0usize; lanes];
-        let mut class_reps: Vec<usize> = Vec::new();
-        for l in 0..lanes {
-            match class_reps.iter().position(|&r| bases[r] == bases[l]) {
-                Some(c) => class_of[l] = c,
-                None => {
-                    class_of[l] = class_reps.len();
-                    class_reps.push(l);
-                }
-            }
-        }
+        // aggregation) — hash-bucketed, bit-equality verified only within
+        // a bucket, so classing costs O(lanes·p) instead of the historical
+        // O(lanes²·p) pairwise scan. Per client, only the active lanes of
+        // each class train — one representative each, its update copied to
+        // the rest. Every lane coincides in round 0 (one shared server
+        // init), so the first round costs one local training per client
+        // per block instead of one per lane — and later rounds still
+        // coalesce duplicated or converged trajectories. The class hash
+        // doubles as the trajectory-cache key.
+        let lane_classes = class_lanes(&bases);
+        // Collision-guard fingerprints, one per class, computed lazily on
+        // first cache probe (the fingerprint pass costs a full scan of p).
+        let mut class_fp: Vec<Option<u64>> = vec![None; lane_classes.reps.len()];
         // (ii) Acts at clients: visit each participating client once; all
         // lanes that contain it train on the same gathered batches.
         for (i, client) in clients.iter().enumerate() {
             let mut any = false;
-            for l in 0..lanes {
-                active[l] = participants[l].contains(&i);
-                any |= active[l];
+            for (a, &mask) in active.iter_mut().zip(&member_mask) {
+                *a = mask >> i & 1 == 1;
+                any |= *a;
             }
             if !any {
                 continue;
@@ -327,21 +377,49 @@ pub fn train_coalitions_params(
             // Active lanes of one base class share a group; the first
             // active lane acts as its representative.
             let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-            for l in 0..lanes {
-                if active[l] {
+            for (l, &on) in active.iter().enumerate() {
+                if on {
                     match groups
                         .iter_mut()
-                        .find(|(rep, _)| class_of[*rep] == class_of[l])
+                        .find(|(rep, _)| lane_classes.class_of[*rep] == lane_classes.class_of[l])
                     {
                         Some((_, members)) => members.push(l),
                         None => groups.push((l, vec![l])),
                     }
                 }
             }
+            // Probe the trajectory cache per group: a hit replays the
+            // memoised update for every lane of the group; only the
+            // missing groups train below.
             let mut train_mask = vec![false; lanes];
-            for (rep, _) in &groups {
-                train_mask[*rep] = true;
-                multi.set_lane_params(*rep, &bases[*rep]);
+            let mut misses: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (rep, group) in groups {
+                if let Some(cache) = cache {
+                    let class = lane_classes.class_of[rep];
+                    // A counting-only cache ignores the fingerprint, so
+                    // skip its O(p) scan there (probes still count).
+                    let fp = if cache.is_enabled() {
+                        *class_fp[class]
+                            .get_or_insert_with(|| TrajectoryCache::fingerprint(&bases[rep]))
+                    } else {
+                        0
+                    };
+                    if let Some(hit) = cache.lookup(lane_classes.hashes[class], fp, i, round) {
+                        for &l in &group {
+                            let mut delta = deltas[l][i].take().unwrap_or_default();
+                            delta.clear();
+                            delta.extend_from_slice(&hit);
+                            deltas[l][i] = Some(delta);
+                        }
+                        continue;
+                    }
+                }
+                train_mask[rep] = true;
+                multi.set_lane_params(rep, &bases[rep]);
+                misses.push((rep, group));
+            }
+            if misses.is_empty() {
+                continue; // every group replayed from the cache
             }
             let mut rng = StdRng::seed_from_u64(local_seed(cfg.seed, round, i));
             match cfg.algorithm {
@@ -369,7 +447,7 @@ pub fn train_coalitions_params(
                         // global model (identical across the group), as a
                         // backend axpy along (g − w) — the same arithmetic
                         // as the solo path's proximal step.
-                        for (rep, _) in &groups {
+                        for (rep, _) in &misses {
                             multi.lane_params_into(*rep, &mut lane_buf);
                             prox_dir.clear();
                             prox_dir.extend(bases[*rep].iter().zip(&lane_buf).map(|(g, w)| g - w));
@@ -379,14 +457,31 @@ pub fn train_coalitions_params(
                     }
                 }
             }
-            // Upload: Δ = local − base, computed once per group and
-            // replicated to every lane in it (bit-equal by construction).
-            for (rep, members) in &groups {
+            // Upload: Δ = local − base, computed once per group, inserted
+            // into the cache and replicated to every lane in the group
+            // (bit-equal by construction).
+            for (rep, group) in &misses {
                 multi.lane_params_into(*rep, &mut lane_buf);
-                for &l in members {
+                delta_buf.clear();
+                delta_buf.extend(lane_buf.iter().zip(&bases[*rep]).map(|(a, b)| a - b));
+                if let Some(cache) = cache {
+                    cache.record_training(round);
+                    if cache.is_enabled() {
+                        let class = lane_classes.class_of[*rep];
+                        let fp = class_fp[class].expect("fingerprint set during probe");
+                        cache.insert(
+                            lane_classes.hashes[class],
+                            fp,
+                            i,
+                            round,
+                            Arc::new(delta_buf.clone()),
+                        );
+                    }
+                }
+                for &l in group {
                     let mut delta = deltas[l][i].take().unwrap_or_default();
                     delta.clear();
-                    delta.extend(lane_buf.iter().zip(&bases[*rep]).map(|(a, b)| a - b));
+                    delta.extend_from_slice(&delta_buf);
                     deltas[l][i] = Some(delta);
                 }
             }
@@ -623,6 +718,56 @@ mod tests {
 
     /// Expected participant sequence for the pinned-seed test above.
     const PINNED_PICKS: [[usize; 2]; 4] = [[0, 2], [2, 1], [3, 1], [1, 0]];
+
+    #[test]
+    fn participant_masks_mirror_participant_lists() {
+        // Regression companion to the O(lanes × |participants|) per-client
+        // scan: the bitset must answer exactly the `contains` queries the
+        // engine used to make, across the whole index range.
+        assert_eq!(participant_mask(&[]), 0);
+        assert_eq!(participant_mask(&[0, 2, 5]), 0b100101);
+        assert_eq!(participant_mask(&[127]), 1u128 << 127);
+        let parts = vec![3usize, 17, 64, 100, 127];
+        let mask = participant_mask(&parts);
+        for i in 0..128usize {
+            assert_eq!(mask >> i & 1 == 1, parts.contains(&i), "client {i}");
+        }
+    }
+
+    #[test]
+    fn cached_training_is_bit_identical_and_skips_repeat_trainings() {
+        // The tentpole contract at the engine level: a shared
+        // TrajectoryCache across two train_coalitions_params calls must
+        // change no bits, and the second call must replay every
+        // trajectory the first one already paid for.
+        let (clients, _) = small_problem();
+        let cfg = FedAvgConfig::default();
+        let spec = ModelSpec::default_mlp();
+        let batch = [
+            Coalition::from_members([1, 3]),
+            Coalition::full(4),
+            Coalition::singleton(2),
+        ];
+        let uncached = train_coalitions_params(&spec, &clients, 64, 10, &batch, &cfg);
+        let cache = TrajectoryCache::new();
+        let cached =
+            train_coalitions_params_with_cache(&spec, &clients, 64, 10, &batch, &cfg, Some(&cache));
+        assert_eq!(cached, uncached, "cache hits must not change any bits");
+        let first = cache.stats();
+        assert!(first.hits == 0 && first.local_trainings > 0);
+        // Round 0: one shared init ⇒ one training per distinct client.
+        assert_eq!(first.round0_trainings, 4);
+        // Replaying the same batch is all hits, still bit-identical.
+        let replay =
+            train_coalitions_params_with_cache(&spec, &clients, 64, 10, &batch, &cfg, Some(&cache));
+        assert_eq!(replay, uncached);
+        let second = cache.stats();
+        assert_eq!(
+            second.local_trainings, first.local_trainings,
+            "replay must not train"
+        );
+        assert_eq!(second.hits, second.probes - first.probes);
+    }
 
     #[test]
     fn history_skips_empty_clients() {

@@ -11,6 +11,11 @@
 //! * [`utility`] — [`utility::FlUtility`] (FedAvg + neural models) and
 //!   [`utility::GbdtUtility`] (pooled XGBoost-style training), the real
 //!   `U(M_S)` behind every experiment;
+//! * [`trajcache`] — the cross-block trajectory cache: per-client
+//!   per-round local-training updates memoised by
+//!   `(round-start params hash, client, round)`, so exhaustive sweeps pay
+//!   each shared trajectory (notably every round-0 training) once per
+//!   cache lifetime instead of once per lane block;
 //! * [`history`] — per-round per-client updates and model reconstruction;
 //! * [`gradient`] — the gradient-based baselines of Sec. V-A: OR, λ-MR,
 //!   GTG-Shapley and DIG-FL.
@@ -23,14 +28,19 @@ pub mod fedavg;
 pub mod gradient;
 pub mod history;
 pub mod model;
+pub mod trajcache;
 pub mod utility;
 
 pub use config::{FedAvgConfig, FlAlgorithm};
-pub use fedavg::{train_coalition, train_coalitions, train_coalitions_params, train_with_history};
+pub use fedavg::{
+    train_coalition, train_coalitions, train_coalitions_params, train_coalitions_params_with_cache,
+    train_with_history,
+};
 pub use gradient::{
     dig_fl, gtg_shapley, lambda_mr, or_valuation, DigFlConfig, GtgConfig, LambdaMrConfig,
     ReconstructedUtility,
 };
 pub use history::TrainingHistory;
 pub use model::ModelSpec;
+pub use trajcache::{TrajCacheStats, TrajectoryCache};
 pub use utility::{FlUtility, GbdtUtility};

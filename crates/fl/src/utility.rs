@@ -1,6 +1,8 @@
 //! Coalition utility functions backed by real model training — the
 //! `U(M_S)` of Def. 2, with `U` = test accuracy.
 
+use std::sync::Arc;
+
 use fedval_core::coalition::Coalition;
 use fedval_core::utility::Utility;
 use fedval_data::Dataset;
@@ -8,8 +10,9 @@ use fedval_gbdt::{Gbdt, GbdtParams};
 use fedval_nn::MultiNetwork;
 
 use crate::config::{init_seed, FedAvgConfig};
-use crate::fedavg::{train_coalition, train_coalitions_params};
+use crate::fedavg::{train_coalition, train_coalitions_params_with_cache};
 use crate::model::ModelSpec;
+use crate::trajcache::TrajectoryCache;
 
 /// Default number of coalition models trained per lock-step lane block by
 /// [`FlUtility::eval_batch`]. Eight lanes amortise the shared data pass
@@ -31,12 +34,24 @@ pub const DEFAULT_LANE_BLOCK: usize = fedval_core::utility::DEFAULT_PAR_CHUNK;
 ///
 /// Wrap in [`fedval_core::utility::CachedUtility`] so each coalition is
 /// trained exactly once (the paper's `τ` accounting).
+///
+/// Below whole-coalition caching sits the *trajectory cache*
+/// ([`crate::trajcache`]): `eval_batch` memoises per-client per-round
+/// local-training updates across its lane blocks, so e.g. the round-0
+/// trainings every coalition shares are paid once per client per
+/// `eval_batch` call instead of once per block. On by default
+/// ([`FedAvgConfig::traj_cache`], `FEDVAL_TRAJCACHE=0` to disable) with a
+/// fresh cache per call; [`FlUtility::with_traj_cache`] installs a shared
+/// handle that additionally persists hits across calls — including the
+/// sub-batches a `ParallelUtility` fans out — for a whole valuation run.
+/// Values are bit-identical in every mode.
 pub struct FlUtility {
     clients: Vec<Dataset>,
     test: Dataset,
     spec: ModelSpec,
     cfg: FedAvgConfig,
     lane_block: usize,
+    traj_cache: Option<Arc<TrajectoryCache>>,
 }
 
 impl FlUtility {
@@ -52,6 +67,7 @@ impl FlUtility {
             spec,
             cfg,
             lane_block: DEFAULT_LANE_BLOCK,
+            traj_cache: None,
         }
     }
 
@@ -61,6 +77,24 @@ impl FlUtility {
         assert!(lane_block >= 1);
         self.lane_block = lane_block;
         self
+    }
+
+    /// Install a shared trajectory cache: every `eval_batch` call probes
+    /// and fills this handle instead of a per-call cache, extending the
+    /// per-client per-round memoisation across the whole valuation run
+    /// (and across the sub-batches a `ParallelUtility` splits off). The
+    /// handle takes precedence over [`FedAvgConfig::traj_cache`] — a
+    /// [`TrajectoryCache::counting_only`] handle measures the uncached
+    /// baseline. Never share one cache between utilities with different
+    /// datasets, specs, configs or backends (see `crate::trajcache`).
+    pub fn with_traj_cache(mut self, cache: Arc<TrajectoryCache>) -> Self {
+        self.traj_cache = Some(cache);
+        self
+    }
+
+    /// The shared trajectory cache, if one was installed.
+    pub fn traj_cache(&self) -> Option<&Arc<TrajectoryCache>> {
+        self.traj_cache.as_ref()
     }
 
     pub fn lane_block(&self) -> usize {
@@ -109,13 +143,33 @@ impl Utility for FlUtility {
     /// (lanes in one block then share similar member sets, so most clients
     /// a block visits are active in most of its lanes), grouped into
     /// blocks of at most `lane_block`, and each block is trained by one
-    /// [`train_coalitions`] pass and scored with the test batches gathered
-    /// once for all lanes. Values are bit-identical to mapping
-    /// [`FlUtility::eval`] — per-lane trajectories are bit-identical to
-    /// solo runs and accuracy is a pure per-lane function — so the
-    /// determinism contract survives any grouping.
+    /// [`crate::fedavg::train_coalitions`] pass and scored with the test
+    /// batches gathered once for all lanes. A trajectory cache — owned by
+    /// this call, or the shared [`FlUtility::with_traj_cache`] handle —
+    /// spans the blocks, so local trainings bit-equal across blocks
+    /// (every round-0 training, and any later-round coincidence) are paid
+    /// once. Values are bit-identical to mapping [`FlUtility::eval`] —
+    /// per-lane trajectories are bit-identical to solo runs, cache hits
+    /// replay the bits training would produce, and accuracy is a pure
+    /// per-lane function — so the determinism contract survives any
+    /// grouping and any cache state.
     fn eval_batch(&self, coalitions: &[Coalition]) -> Vec<f64> {
-        if coalitions.len() <= 1 || self.lane_block == 1 {
+        // Per-call cache, created unless a shared handle is installed or
+        // the config disables trajectory caching entirely. Within one
+        // lock-step block every (round-start params, client, round) key is
+        // distinct — classes have distinct bases per round by construction
+        // — so a per-call cache can only hit *across* blocks; a batch that
+        // fits a single block (notably the sub-batches a ParallelUtility
+        // fans out without a shared handle) skips the cache overhead.
+        let owned: Option<TrajectoryCache> = match &self.traj_cache {
+            Some(_) => None,
+            None if self.cfg.traj_cache && coalitions.len() > self.lane_block => {
+                Some(TrajectoryCache::new())
+            }
+            None => None,
+        };
+        let cache: Option<&TrajectoryCache> = self.traj_cache.as_deref().or(owned.as_ref());
+        if cache.is_none() && (coalitions.len() <= 1 || self.lane_block == 1) {
             return coalitions.iter().map(|&s| self.eval(s)).collect();
         }
         let mut order: Vec<usize> = (0..coalitions.len()).collect();
@@ -134,13 +188,14 @@ impl Utility for FlUtility {
         for positions in order.chunks(self.lane_block) {
             block.clear();
             block.extend(positions.iter().map(|&i| coalitions[i]));
-            let lane_params = train_coalitions_params(
+            let lane_params = train_coalitions_params_with_cache(
                 &self.spec,
                 &self.clients,
                 self.test.n_features(),
                 self.test.n_classes(),
                 &block,
                 &self.cfg,
+                cache,
             );
             // Score all lanes against the test set in one shared pass.
             let mut multi = MultiNetwork::from_network(&template, lane_params.len());
