@@ -1,0 +1,204 @@
+//! service_throughput — tracks what the multi-valuation service is for:
+//! many valuation requests against one FL training setup, answered
+//! cheaper together than alone.
+//!
+//! One workload (six requests: exact MC/CC sweeps, IPSS, stratified MC,
+//! Owen, LOO over one FedAvg utility), three serving modes:
+//!
+//! * **solo** — every request on its own fresh server (fresh coalition
+//!   cache, fresh trajectory cache): the no-sharing baseline a
+//!   per-request deployment would pay;
+//! * **sequential** — one long-lived server, requests submitted one at a
+//!   time (1 concurrent run): sharing via the caches only;
+//! * **concurrent** — the same server fed all requests at once (N
+//!   concurrent runs): sharing plus coalescing into merged lane blocks.
+//!
+//! All three modes must return **bit-identical** values per request (the
+//! determinism contract), and the shared modes must train strictly fewer
+//! models and local updates than the solo sum. Requests/sec per mode, the
+//! training counts and the dedup factor go to `BENCH_service.json` at the
+//! workspace root, stamped with `machine_cores`/`rayon_num_threads` like
+//! every tracking report.
+//!
+//! Knobs: `FEDVAL_SERVICE_N=<clients>` (default 7; `FEDVAL_QUICK=1` drops
+//! to 5), `FEDVAL_SERVICE_JSON=<path>` to redirect the report.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use fedval_bench::quick;
+use fedval_core::service::{Estimator, ValuationRequest, ValuationResponse};
+use fedval_data::{MnistLike, SyntheticSetup};
+use fedval_fl::service::{serve, FlServiceConfig};
+use fedval_fl::{FedAvgConfig, FlUtility, ModelSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn n_clients() -> usize {
+    if let Ok(v) = std::env::var("FEDVAL_SERVICE_N") {
+        return v.parse().expect("FEDVAL_SERVICE_N must be a client count");
+    }
+    if quick() {
+        5
+    } else {
+        7
+    }
+}
+
+fn fl_utility(n: usize) -> FlUtility {
+    let gen = MnistLike::new(0x5EF);
+    let (train, test) = gen.generate_split(24 * n, 96, 0x5F0);
+    let mut rng = StdRng::seed_from_u64(0x5F1);
+    let clients = SyntheticSetup::SameSizeSameDist.partition(&train, n, &mut rng);
+    FlUtility::new(
+        clients,
+        test,
+        ModelSpec::default_mlp(),
+        FedAvgConfig {
+            rounds: 2,
+            local_epochs: 1,
+            seed: 0x5F2,
+            ..Default::default()
+        },
+    )
+}
+
+fn requests(n: usize) -> Vec<ValuationRequest> {
+    let gamma = (1usize << n) / 4;
+    vec![
+        ValuationRequest::new(Estimator::ExactMc, 0, 1),
+        ValuationRequest::new(Estimator::ExactCc, 0, 2),
+        ValuationRequest::new(Estimator::Ipss, gamma, 3),
+        ValuationRequest::new(Estimator::StratifiedMc, gamma, 4),
+        ValuationRequest::new(Estimator::Owen, n * (n + 1), 5),
+        ValuationRequest::new(Estimator::Loo, 0, 6),
+    ]
+}
+
+struct Mode {
+    secs: f64,
+    values: Vec<Vec<f64>>,
+    evaluations: usize,
+    local_trainings: usize,
+}
+
+/// Serve the workload: `solo` = fresh server per request (the
+/// no-sharing baseline), otherwise one server with all requests in
+/// flight (`concurrent`) or one at a time.
+fn run_mode(n: usize, reqs: &[ValuationRequest], concurrent: bool, solo: bool) -> Mode {
+    let start = Instant::now();
+    let mut values = Vec::new();
+    let mut evaluations = 0;
+    let mut local_trainings = 0;
+    let mut finish = |responses: Vec<ValuationResponse>, evals: usize, trainings: usize| {
+        values.extend(responses.into_iter().map(|r| r.values));
+        evaluations += evals;
+        local_trainings += trainings;
+    };
+    if solo {
+        for req in reqs {
+            let (server, _cache) = serve(fl_utility(n), FlServiceConfig::default());
+            let resp = server.call(req.clone());
+            let stats = server.stats();
+            finish(
+                vec![resp],
+                stats.eval.evaluations,
+                stats.traj.expect("traj wired").local_trainings,
+            );
+            server.shutdown();
+        }
+    } else {
+        let (server, _cache) = serve(fl_utility(n), FlServiceConfig::default());
+        let responses: Vec<ValuationResponse> = if concurrent {
+            let tickets: Vec<_> = reqs.iter().map(|r| server.submit(r.clone())).collect();
+            tickets.into_iter().map(|t| t.wait()).collect()
+        } else {
+            reqs.iter().map(|r| server.call(r.clone())).collect()
+        };
+        let stats = server.stats();
+        finish(
+            responses,
+            stats.eval.evaluations,
+            stats.traj.expect("traj wired").local_trainings,
+        );
+        server.shutdown();
+    }
+    Mode {
+        secs: start.elapsed().as_secs_f64(),
+        values,
+        evaluations,
+        local_trainings,
+    }
+}
+
+fn main() {
+    let n = n_clients();
+    let reqs = requests(n);
+    let r = reqs.len();
+    println!("service_throughput: n = {n} clients, {r} valuation requests");
+
+    let solo = run_mode(n, &reqs, false, true);
+    println!(
+        "solo        {:8.3}s  {:6.2} req/s  {:5} models  {:6} local trainings",
+        solo.secs,
+        r as f64 / solo.secs,
+        solo.evaluations,
+        solo.local_trainings
+    );
+    let sequential = run_mode(n, &reqs, false, false);
+    println!(
+        "sequential  {:8.3}s  {:6.2} req/s  {:5} models  {:6} local trainings",
+        sequential.secs,
+        r as f64 / sequential.secs,
+        sequential.evaluations,
+        sequential.local_trainings
+    );
+    let concurrent = run_mode(n, &reqs, true, false);
+    println!(
+        "concurrent  {:8.3}s  {:6.2} req/s  {:5} models  {:6} local trainings",
+        concurrent.secs,
+        r as f64 / concurrent.secs,
+        concurrent.evaluations,
+        concurrent.local_trainings
+    );
+
+    let identical = solo.values == sequential.values && solo.values == concurrent.values;
+    let dedup_models = solo.evaluations as f64 / concurrent.evaluations as f64;
+    let dedup_trainings = solo.local_trainings as f64 / concurrent.local_trainings as f64;
+    println!(
+        "dedup vs solo: {dedup_models:.2}x models, {dedup_trainings:.2}x local trainings, \
+         values bit-identical: {identical}"
+    );
+    assert!(identical, "served values diverged from solo execution");
+    assert!(
+        concurrent.evaluations < solo.evaluations,
+        "shared coalition cache must dedup across runs"
+    );
+    assert!(
+        concurrent.local_trainings < solo.local_trainings,
+        "shared trajectory cache must dedup across runs"
+    );
+
+    let path = std::env::var("FEDVAL_SERVICE_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR")));
+    let report = format!(
+        "{{\n  \"bench\": \"service_throughput\",\n  \"scenario\": \"6 valuation requests (exact MC/CC, IPSS, stratified MC, Owen, LOO) over one FedAvg utility: fresh server per request (solo) vs one server at 1 (sequential) and N (concurrent) requests in flight\",\n  \"n_clients\": {n},\n  \"requests\": {r},\n  {},\n  \"solo\": {{\"seconds\": {:.6}, \"requests_per_sec\": {:.4}, \"models_trained\": {}, \"local_trainings\": {}}},\n  \"sequential\": {{\"seconds\": {:.6}, \"requests_per_sec\": {:.4}, \"models_trained\": {}, \"local_trainings\": {}}},\n  \"concurrent\": {{\"seconds\": {:.6}, \"requests_per_sec\": {:.4}, \"models_trained\": {}, \"local_trainings\": {}}},\n  \"dedup_factor_models\": {dedup_models:.4},\n  \"dedup_factor_local_trainings\": {dedup_trainings:.4},\n  \"values_bit_identical\": {identical}\n}}\n",
+        fedval_bench::parallelism_json_fields(),
+        solo.secs,
+        r as f64 / solo.secs,
+        solo.evaluations,
+        solo.local_trainings,
+        sequential.secs,
+        r as f64 / sequential.secs,
+        sequential.evaluations,
+        sequential.local_trainings,
+        concurrent.secs,
+        r as f64 / concurrent.secs,
+        concurrent.evaluations,
+        concurrent.local_trainings,
+    );
+    let mut file = std::fs::File::create(&path).expect("create BENCH_service.json");
+    file.write_all(report.as_bytes())
+        .expect("write BENCH_service.json");
+    println!("wrote {path}");
+}

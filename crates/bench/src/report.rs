@@ -2,8 +2,8 @@
 //! rows as JSON for downstream plotting/regression-tracking, alongside the
 //! human-readable tables.
 //!
-//! Set `FEDVAL_JSON=<dir>` to make [`maybe_write`] drop one JSON file per
-//! experiment into `<dir>`.
+//! Set `FEDVAL_JSON=<dir>` to make [`ExperimentReport::maybe_write`] drop
+//! one JSON file per experiment into `<dir>`.
 
 use std::io::Write as _;
 use std::path::PathBuf;

@@ -1,5 +1,5 @@
 //! Banzhaf-value data valuation — the robust alternative of *Data Banzhaf*
-//! (Wang & Jia, AISTATS'23), cited by the paper as [21].
+//! (Wang & Jia, AISTATS'23), cited by the paper as \[21\].
 //!
 //! The Banzhaf value replaces the Shapley value's stratified weights with a
 //! uniform average over all coalitions:

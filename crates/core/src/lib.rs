@@ -56,6 +56,7 @@ pub mod loo;
 pub mod metrics;
 pub mod owen;
 pub mod sampling;
+pub mod service;
 pub mod stratified;
 pub mod utility;
 pub mod valuation;
@@ -79,6 +80,10 @@ pub mod prelude {
         kendall_tau, l2_relative_error, max_abs_error, pareto_front, property_error,
     };
     pub use crate::owen::{owen_sampling, OwenConfig};
+    pub use crate::service::{
+        Estimator, RunStats, ServiceStats, Ticket, ValuationRequest, ValuationResponse,
+        ValuationServer,
+    };
     pub use crate::stratified::{
         stratified_sampling, stratified_sampling_values, Scheme, StratifiedConfig,
     };

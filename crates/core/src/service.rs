@@ -1,0 +1,895 @@
+//! The multi-valuation service: a long-lived [`ValuationServer`] that
+//! serves many concurrent valuation requests against **one** utility,
+//! coalescing their coalition evaluations into shared batches.
+//!
+//! # Why a service
+//!
+//! The paper's IPSS estimator amortises utility evaluations across the
+//! coalitions *one* run samples; the engine underneath (sharded
+//! [`CachedUtility`], lock-step lane blocks, the FL trajectory cache)
+//! amortises them across *anything that shares the utility handle*. A
+//! production valuation deployment asks many questions about one training
+//! setup — per-round Shapley values, leave-one-out, Banzhaf indices,
+//! different seeds and budgets — and almost every question touches the
+//! same coalitions (`∅`, singletons, the grand coalition, the small
+//! strata). Serving those queries one-at-a-time re-pays the overlap;
+//! serving them through one long-lived server pays it once.
+//!
+//! # How coalescing works
+//!
+//! Each request runs its estimator on a worker thread against a
+//! run-local [`Utility`] facade. When the estimator evaluates a batch,
+//! the facade *parks* the batch instead of evaluating it. When every
+//! currently-eligible run is parked (runs that finished have
+//! deregistered; runs awaiting results don't count), the last arrival
+//! becomes the *flush leader*: it merges all parked batches, deduplicates
+//! them, sorts them by `(|S|, mask)` and evaluates the distinct
+//! coalitions as **one** batch through the shared [`CachedUtility`] —
+//! which forwards only the cache misses to the inner utility (an FL
+//! utility turns them into size-sorted lock-step lane blocks over one
+//! shared trajectory cache). The leader then scatters per-run results and
+//! wakes the parked runs.
+//!
+//! ```text
+//!  request₁ ──▶ worker₁ ─ eval_batch ─┐                     ┌─ CachedUtility
+//!  request₂ ──▶ worker₂ ─ eval_batch ─┼─▶ park ▶ barrier ▶ ─┤   (shared, sharded)
+//!  request₃ ──▶ worker₃ ─ eval_batch ─┘    merge + dedup    └─▶ inner utility
+//!                                          one shared batch     (lane blocks +
+//!                                                                traj cache)
+//! ```
+//!
+//! The barrier couples a run's batch latency to the slowest concurrent
+//! run's inter-batch compute, in exchange for maximal coalescing; a run
+//! alone on the server flushes immediately, so the single-tenant case
+//! degenerates to a plain cached evaluation. Utility determinism makes
+//! the whole construction invisible in the results: every value is a pure
+//! function of its coalition mask, so coalesced runs return **bit-identical**
+//! values to solo runs, under any interleaving.
+//!
+//! # Memory
+//!
+//! The shared caches are the service's working set: the coalition memo
+//! grows by one `f64` per distinct coalition, and an FL trajectory cache
+//! by `p` floats per distinct client-round. For long-lived servers, bound
+//! the latter with a byte budget (`TrajectoryCache::with_byte_budget` in
+//! `fedval-fl`) or clear it between runs; occupancy and evictions are
+//! reported in [`TrajCacheStats`] through [`ServiceStats`].
+//!
+//! # Example
+//!
+//! ```
+//! use fedval_core::coalition::Coalition;
+//! use fedval_core::exact::exact_mc_sv;
+//! use fedval_core::service::{Estimator, ValuationRequest, ValuationServer};
+//! use fedval_core::utility::TableUtility;
+//!
+//! let server = ValuationServer::start(TableUtility::paper_table1());
+//! // Submit three concurrent requests, then wait for all of them.
+//! let tickets: Vec<_> = [
+//!     ValuationRequest::new(Estimator::ExactMc, 0, 1),
+//!     ValuationRequest::new(Estimator::ExactCc, 0, 2),
+//!     ValuationRequest::new(Estimator::Ipss, 5, 3),
+//! ]
+//! .into_iter()
+//! .map(|req| server.submit(req))
+//! .collect();
+//! let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+//!
+//! // Results are bit-identical to solo execution...
+//! assert_eq!(responses[0].values, exact_mc_sv(&TableUtility::paper_table1()));
+//! assert_eq!(responses[0].clients, vec![0, 1, 2]);
+//! // ...and the shared cache paid each distinct coalition once: the two
+//! // exact sweeps plus IPSS touch all 2^3 masks, but train only 8.
+//! let stats = server.stats();
+//! assert_eq!(stats.eval.evaluations, 8);
+//! assert!(stats.eval.lookups > 8, "overlap resolved from the cache");
+//! server.shutdown();
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::banzhaf::banzhaf_pruned;
+use crate::coalition::Coalition;
+use crate::exact::{exact_cc_sv, exact_mc_sv};
+use crate::ipss::{ipss_values, IpssConfig};
+use crate::loo::leave_one_out;
+use crate::owen::{owen_sampling, OwenConfig};
+use crate::stratified::{stratified_sampling_values, Scheme, StratifiedConfig};
+use crate::utility::{CachedUtility, EvalStats, TrajCacheStats, Utility};
+
+/// Which valuation estimator a [`ValuationRequest`] runs. Every variant
+/// dispatches through [`Utility::eval_batch`], so all of them coalesce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Estimator {
+    /// Exact Shapley values via the MC expression (all `2^n` coalitions).
+    ExactMc,
+    /// Exact Shapley values via the CC expression (all `2^n` coalitions).
+    ExactCc,
+    /// IPSS (Alg. 3) with `γ` = the request's budget.
+    Ipss,
+    /// Stratified sampling (Alg. 1), MC scheme, budget split uniformly
+    /// over the strata.
+    StratifiedMc,
+    /// Stratified sampling (Alg. 1), CC scheme, budget split uniformly.
+    StratifiedCc,
+    /// Owen multilinear sampling; the budget approximates the total
+    /// number of utility evaluations.
+    Owen,
+    /// Importance-pruned Banzhaf values with `γ` = the request's budget.
+    BanzhafPruned,
+    /// Leave-one-out values (`n + 1` evaluations; budget ignored).
+    Loo,
+}
+
+/// One valuation query: *which estimator*, over *which clients*, with
+/// *what budget and seed*.
+#[derive(Clone, Debug)]
+pub struct ValuationRequest {
+    /// The estimator to run.
+    pub estimator: Estimator,
+    /// Restrict valuation to this subset of clients (`None` = all). The
+    /// run plays the *sub-game* on these clients: coalitions range over
+    /// subsets of the set, and values are reported per member. Sub-game
+    /// coalitions are translated to global masks before evaluation, so
+    /// requests over different client sets still share cached coalitions.
+    pub clients: Option<Coalition>,
+    /// Sampling budget, interpreted per estimator (IPSS/Banzhaf `γ`,
+    /// stratified/Owen total evaluations; ignored by exact/LOO).
+    pub budget: usize,
+    /// Seed of the run's RNG stream — results are a pure function of
+    /// `(estimator, clients, budget, seed)` and the utility.
+    pub seed: u64,
+}
+
+impl ValuationRequest {
+    /// A request over all clients.
+    pub fn new(estimator: Estimator, budget: usize, seed: u64) -> Self {
+        ValuationRequest {
+            estimator,
+            clients: None,
+            budget,
+            seed,
+        }
+    }
+
+    /// Restrict the valuation to a client subset (the sub-game on `s`).
+    pub fn for_clients(mut self, s: Coalition) -> Self {
+        self.clients = Some(s);
+        self
+    }
+}
+
+/// Per-run batching statistics, attached to every [`ValuationResponse`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Batches the run's estimator parked at the coalescer.
+    pub batches: usize,
+    /// Coalition values the run consumed (including repeats and overlap
+    /// with other runs — compare with the shared [`EvalStats`] to see the
+    /// dedup).
+    pub coalitions: usize,
+    /// Batches that were flushed together with at least one other run's
+    /// batch — the run's share of actual cross-run coalescing.
+    pub coalesced_batches: usize,
+}
+
+/// Cumulative service-wide statistics ([`ValuationServer::stats`], also
+/// snapshotted into every response).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests completed since the server started.
+    pub requests: usize,
+    /// Coalescer flushes performed.
+    pub flushes: usize,
+    /// Parked batches merged across all flushes (`> flushes` ⇔ cross-run
+    /// coalescing happened).
+    pub merged_batches: usize,
+    /// Distinct coalitions forwarded to the shared cache across all
+    /// flushes (after merge-level dedup).
+    pub distinct_coalitions: usize,
+    /// The shared coalition cache's accounting: `evaluations` is the
+    /// total number of models actually trained on behalf of *all* runs.
+    pub eval: EvalStats,
+    /// Training-level accounting of the utility's trajectory cache, when
+    /// the server was built with a stats source
+    /// ([`ServerBuilder::traj_stats`]); includes occupancy (`entries`,
+    /// `bytes`) and `evictions` under a byte budget.
+    pub traj: Option<TrajCacheStats>,
+}
+
+/// The reply to a [`ValuationRequest`].
+#[derive(Clone, Debug)]
+pub struct ValuationResponse {
+    /// The request this answers.
+    pub request: ValuationRequest,
+    /// Global client indices valued, ascending (all clients, or the
+    /// members of `request.clients`).
+    pub clients: Vec<usize>,
+    /// Estimated values, positionally aligned with `clients`.
+    pub values: Vec<f64>,
+    /// Wall-clock time from worker start to estimator completion.
+    pub wall_time: Duration,
+    /// This run's batching statistics.
+    pub run: RunStats,
+    /// Service-wide statistics snapshotted at completion.
+    pub service: ServiceStats,
+}
+
+/// A pending response ([`ValuationServer::submit`]).
+pub struct Ticket {
+    rx: mpsc::Receiver<ValuationResponse>,
+}
+
+impl Ticket {
+    /// Block until the response arrives.
+    ///
+    /// # Panics
+    /// If the worker died without responding (the estimator panicked —
+    /// e.g. an infeasible budget).
+    pub fn wait(self) -> ValuationResponse {
+        self.rx
+            .recv()
+            .expect("valuation worker terminated without a response (estimator panicked?)")
+    }
+}
+
+/// Outcome of one flush, delivered to each parked batch.
+struct FlushOutcome {
+    /// Values aligned with the parked batch's coalitions.
+    values: Vec<f64>,
+    /// How many parked batches the flush merged.
+    merged_batches: usize,
+}
+
+/// A batch parked at the coalescer, waiting for a flush.
+struct ParkedEntry {
+    coalitions: Vec<Coalition>,
+    /// `None` while pending; filled by the flush leader. `Err(())` marks
+    /// a poisoned flush (the inner utility panicked under the leader).
+    outcome: Option<Result<FlushOutcome, ()>>,
+    /// Taken by a leader (in flight) — no longer counted as parked.
+    taken: bool,
+}
+
+/// Coalescer state, guarded by one mutex (the condvar lives beside it).
+#[derive(Default)]
+struct CoState {
+    /// Runs registered and *able to park*: registered minus the runs
+    /// whose batch is in flight in a flush. The flush barrier is
+    /// `parked == eligible`.
+    eligible: usize,
+    /// Entries not yet taken by a leader.
+    parked: usize,
+    next_ticket: u64,
+    entries: HashMap<u64, ParkedEntry>,
+    flushes: usize,
+    merged_batches: usize,
+    distinct_coalitions: usize,
+}
+
+/// Everything the workers share: the cached utility, the coalescer and
+/// the service counters.
+struct Shared<U: Utility + Send + Sync> {
+    cached: CachedUtility<U>,
+    state: Mutex<CoState>,
+    cv: Condvar,
+    requests_done: AtomicU64,
+    traj_stats: Option<Box<dyn Fn() -> TrajCacheStats + Send + Sync>>,
+}
+
+impl<U: Utility + Send + Sync> Shared<U> {
+    /// Register a run (performed by the dispatcher *before* the worker
+    /// spawns, so a burst of submissions coalesces from its first batch).
+    fn register(&self) {
+        self.state.lock().unwrap().eligible += 1;
+    }
+
+    /// Deregister a finished run and wake parked waiters — the barrier
+    /// may have become satisfiable.
+    fn unregister(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.eligible -= 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Park `coalitions` and wait for a flush to deliver their values.
+    /// The caller that completes the barrier (`parked == eligible`)
+    /// becomes the leader and evaluates the merged batch itself.
+    fn eval_coalesced(&self, coalitions: &[Coalition]) -> FlushOutcome {
+        let mut st = self.state.lock().unwrap();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.entries.insert(
+            ticket,
+            ParkedEntry {
+                coalitions: coalitions.to_vec(),
+                outcome: None,
+                taken: false,
+            },
+        );
+        st.parked += 1;
+        loop {
+            if st.entries[&ticket].outcome.is_some() {
+                let entry = st.entries.remove(&ticket).expect("own ticket");
+                return entry
+                    .outcome
+                    .expect("checked above")
+                    .unwrap_or_else(|()| panic!("service flush failed: inner utility panicked"));
+            }
+            if st.parked > 0 && st.parked == st.eligible {
+                st = self.flush(st);
+                continue; // own outcome is now set (or poisoned)
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Flush every parked batch as the leader: merge, dedup, sort,
+    /// evaluate through the shared cache, scatter results, wake waiters.
+    /// Takes and returns the state guard (the evaluation itself runs
+    /// unlocked, so a new wave of runs can park meanwhile).
+    fn flush<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, CoState>,
+    ) -> std::sync::MutexGuard<'a, CoState> {
+        let taken: Vec<u64> = st
+            .entries
+            .iter_mut()
+            .filter(|(_, e)| !e.taken)
+            .map(|(&id, e)| {
+                e.taken = true;
+                id
+            })
+            .collect();
+        let batch_count = taken.len();
+        st.parked -= batch_count;
+        st.eligible -= batch_count;
+        st.flushes += 1;
+        st.merged_batches += batch_count;
+        // Merge + dedup, then a deterministic forwarding order (by size,
+        // ties by mask) so lane-block composition downstream does not
+        // depend on arrival order.
+        let mut seen: HashSet<u128> = HashSet::new();
+        let mut merged: Vec<Coalition> = Vec::new();
+        for id in &taken {
+            for &s in &st.entries[id].coalitions {
+                if seen.insert(s.0) {
+                    merged.push(s);
+                }
+            }
+        }
+        merged.sort_by_key(|s| (s.size(), s.0));
+        st.distinct_coalitions += merged.len();
+        drop(st);
+
+        // Evaluate unlocked; on panic the guard poisons the taken entries
+        // so their waiters fail loudly instead of hanging.
+        struct PoisonGuard<'g, V: Utility + Send + Sync> {
+            shared: &'g Shared<V>,
+            taken: Vec<u64>,
+            batch_count: usize,
+            armed: bool,
+        }
+        impl<V: Utility + Send + Sync> Drop for PoisonGuard<'_, V> {
+            fn drop(&mut self) {
+                if !self.armed {
+                    return;
+                }
+                let mut st = self.shared.state.lock().unwrap();
+                for id in &self.taken {
+                    if let Some(e) = st.entries.get_mut(id) {
+                        e.outcome = Some(Err(()));
+                    }
+                }
+                st.eligible += self.batch_count;
+                drop(st);
+                self.shared.cv.notify_all();
+            }
+        }
+        let mut guard = PoisonGuard {
+            shared: self,
+            taken,
+            batch_count,
+            armed: true,
+        };
+        let values = self.cached.eval_batch(&merged);
+        guard.armed = false;
+        let by_mask: HashMap<u128, f64> = merged.iter().map(|s| s.0).zip(values).collect();
+
+        let mut st = self.state.lock().unwrap();
+        for id in &guard.taken {
+            let entry = st.entries.get_mut(id).expect("taken entry resident");
+            entry.outcome = Some(Ok(FlushOutcome {
+                values: entry.coalitions.iter().map(|s| by_mask[&s.0]).collect(),
+                merged_batches: batch_count,
+            }));
+        }
+        st.eligible += batch_count;
+        drop(st);
+        self.cv.notify_all();
+        self.state.lock().unwrap()
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let st = self.state.lock().unwrap();
+        ServiceStats {
+            requests: self.requests_done.load(Ordering::Relaxed) as usize,
+            flushes: st.flushes,
+            merged_batches: st.merged_batches,
+            distinct_coalitions: st.distinct_coalitions,
+            eval: self.cached.stats(),
+            traj: self.traj_stats.as_ref().map(|f| f()),
+        }
+    }
+}
+
+/// Deregisters a run when dropped — including during a worker panic, so
+/// parked peers never wait on a dead run.
+struct RunGuard<U: Utility + Send + Sync>(Arc<Shared<U>>);
+
+impl<U: Utility + Send + Sync> Drop for RunGuard<U> {
+    fn drop(&mut self) {
+        self.0.unregister();
+    }
+}
+
+/// The run-local [`Utility`] facade an estimator evaluates against:
+/// translates sub-game coalitions to global masks, parks batches at the
+/// coalescer and tracks per-run statistics.
+struct RunUtility<U: Utility + Send + Sync> {
+    shared: Arc<Shared<U>>,
+    /// Global client indices of the run's sub-game, ascending.
+    members: Vec<usize>,
+    /// Fast path: the run spans all clients (masks pass through).
+    identity: bool,
+    batches: AtomicU64,
+    coalitions: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<U: Utility + Send + Sync> RunUtility<U> {
+    fn to_global(&self, s: Coalition) -> Coalition {
+        if self.identity {
+            return s;
+        }
+        Coalition::from_members(s.members().map(|j| self.members[j]))
+    }
+
+    fn run_stats(&self) -> RunStats {
+        RunStats {
+            batches: self.batches.load(Ordering::Relaxed) as usize,
+            coalitions: self.coalitions.load(Ordering::Relaxed) as usize,
+            coalesced_batches: self.coalesced.load(Ordering::Relaxed) as usize,
+        }
+    }
+}
+
+impl<U: Utility + Send + Sync> Utility for RunUtility<U> {
+    fn n_clients(&self) -> usize {
+        self.members.len()
+    }
+
+    fn eval(&self, s: Coalition) -> f64 {
+        self.eval_batch(&[s])[0]
+    }
+
+    fn eval_batch(&self, coalitions: &[Coalition]) -> Vec<f64> {
+        if coalitions.is_empty() {
+            return Vec::new();
+        }
+        let global: Vec<Coalition> = coalitions.iter().map(|&s| self.to_global(s)).collect();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.coalitions
+            .fetch_add(coalitions.len() as u64, Ordering::Relaxed);
+        let outcome = self.shared.eval_coalesced(&global);
+        if outcome.merged_batches > 1 {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome.values
+    }
+}
+
+/// Run the requested estimator against the run-local facade.
+fn dispatch<V: Utility + Send + Sync>(req: &ValuationRequest, u: &RunUtility<V>) -> Vec<f64> {
+    let n = u.n_clients();
+    let mut rng = StdRng::seed_from_u64(req.seed);
+    match req.estimator {
+        Estimator::ExactMc => exact_mc_sv(u),
+        Estimator::ExactCc => exact_cc_sv(u),
+        Estimator::Ipss => {
+            assert!(req.budget >= 1, "IPSS needs a budget of at least 1");
+            ipss_values(u, &IpssConfig::new(req.budget), &mut rng)
+        }
+        Estimator::StratifiedMc => stratified_sampling_values(
+            u,
+            Scheme::MarginalContribution,
+            &StratifiedConfig::uniform(n, req.budget),
+            &mut rng,
+        ),
+        Estimator::StratifiedCc => stratified_sampling_values(
+            u,
+            Scheme::ComplementaryContribution,
+            &StratifiedConfig::uniform(n, req.budget),
+            &mut rng,
+        ),
+        Estimator::Owen => {
+            // Budget ≈ q_nodes · samples_per_node · (n + 1) evaluations.
+            let q_nodes = 4usize;
+            let per_node = (req.budget / (q_nodes * (n + 1))).max(1);
+            owen_sampling(u, &OwenConfig::new(q_nodes, per_node), &mut rng)
+        }
+        Estimator::BanzhafPruned => {
+            assert!(
+                req.budget >= 1,
+                "pruned Banzhaf needs a budget of at least 1"
+            );
+            banzhaf_pruned(u, req.budget, &mut rng)
+        }
+        Estimator::Loo => leave_one_out(u),
+    }
+}
+
+type Job = (ValuationRequest, mpsc::Sender<ValuationResponse>);
+
+/// The long-lived multi-valuation server — see the [module docs](self)
+/// for the coalescing design. Construct with [`ValuationServer::start`]
+/// (or [`ValuationServer::builder`] to attach a trajectory-cache stats
+/// source), submit requests with [`ValuationServer::submit`] /
+/// [`ValuationServer::call`], and stop with [`ValuationServer::shutdown`]
+/// (dropping the server also shuts it down).
+pub struct ValuationServer<U: Utility + Send + Sync + 'static> {
+    shared: Arc<Shared<U>>,
+    tx: Option<mpsc::Sender<Job>>,
+    dispatcher: Option<thread::JoinHandle<()>>,
+}
+
+/// Configures and starts a [`ValuationServer`].
+pub struct ServerBuilder<U: Utility + Send + Sync + 'static> {
+    utility: U,
+    traj_stats: Option<Box<dyn Fn() -> TrajCacheStats + Send + Sync>>,
+}
+
+impl<U: Utility + Send + Sync + 'static> ServerBuilder<U> {
+    /// Attach a trajectory-cache stats source (typically
+    /// `move || cache.stats()` over the `Arc<TrajectoryCache>` handle the
+    /// utility shares); its snapshots appear in [`ServiceStats::traj`].
+    pub fn traj_stats(
+        mut self,
+        source: impl Fn() -> TrajCacheStats + Send + Sync + 'static,
+    ) -> Self {
+        self.traj_stats = Some(Box::new(source));
+        self
+    }
+
+    /// Spawn the dispatcher and return the running server.
+    pub fn start(self) -> ValuationServer<U> {
+        let shared = Arc::new(Shared {
+            cached: CachedUtility::new(self.utility),
+            state: Mutex::new(CoState::default()),
+            cv: Condvar::new(),
+            requests_done: AtomicU64::new(0),
+            traj_stats: self.traj_stats,
+        });
+        let (tx, rx) = mpsc::channel::<Job>();
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || dispatcher_loop(shared, rx))
+        };
+        ValuationServer {
+            shared,
+            tx: Some(tx),
+            dispatcher: Some(dispatcher),
+        }
+    }
+}
+
+/// Receive jobs, register each run, spawn its worker. A burst of pending
+/// submissions is drained and *registered together* before any worker
+/// spawns, so concurrent requests coalesce from their very first batch.
+fn dispatcher_loop<U: Utility + Send + Sync + 'static>(
+    shared: Arc<Shared<U>>,
+    rx: mpsc::Receiver<Job>,
+) {
+    let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+    while let Ok(first) = rx.recv() {
+        let mut burst = vec![first];
+        while let Ok(job) = rx.try_recv() {
+            burst.push(job);
+        }
+        let guards: Vec<RunGuard<U>> = burst
+            .iter()
+            .map(|_| {
+                shared.register();
+                RunGuard(Arc::clone(&shared))
+            })
+            .collect();
+        for ((request, reply), guard) in burst.into_iter().zip(guards) {
+            let shared = Arc::clone(&shared);
+            workers.push(thread::spawn(move || {
+                serve_one(shared, request, reply, guard)
+            }));
+        }
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// One worker: run the estimator, assemble the response, deliver it.
+fn serve_one<U: Utility + Send + Sync>(
+    shared: Arc<Shared<U>>,
+    request: ValuationRequest,
+    reply: mpsc::Sender<ValuationResponse>,
+    guard: RunGuard<U>,
+) {
+    let start = Instant::now();
+    let n = shared.cached.n_clients();
+    let members: Vec<usize> = match request.clients {
+        Some(s) => {
+            assert!(
+                s.is_subset_of(Coalition::full(n)),
+                "request.clients exceeds the utility's {n} clients"
+            );
+            assert!(
+                !s.is_empty(),
+                "request.clients must name at least one client"
+            );
+            s.members().collect()
+        }
+        None => (0..n).collect(),
+    };
+    let run = RunUtility {
+        shared: Arc::clone(&shared),
+        identity: members.len() == n,
+        members,
+        batches: AtomicU64::new(0),
+        coalitions: AtomicU64::new(0),
+        coalesced: AtomicU64::new(0),
+    };
+    let values = dispatch(&request, &run);
+    let wall_time = start.elapsed();
+    drop(guard); // deregister before snapshotting stats
+    shared.requests_done.fetch_add(1, Ordering::Relaxed);
+    let response = ValuationResponse {
+        clients: run.members.clone(),
+        values,
+        wall_time,
+        run: run.run_stats(),
+        service: shared.stats(),
+        request,
+    };
+    let _ = reply.send(response); // submitter may have dropped the ticket
+}
+
+impl<U: Utility + Send + Sync + 'static> ValuationServer<U> {
+    /// Start a server over `utility` with default settings. The server
+    /// wraps the utility in its own shared [`CachedUtility`]; hand it the
+    /// innermost (possibly parallel) utility, not a pre-cached one.
+    pub fn start(utility: U) -> Self {
+        Self::builder(utility).start()
+    }
+
+    /// Configure before starting (e.g. attach a trajectory-cache stats
+    /// source).
+    pub fn builder(utility: U) -> ServerBuilder<U> {
+        ServerBuilder {
+            utility,
+            traj_stats: None,
+        }
+    }
+
+    /// Enqueue a request; returns a [`Ticket`] to wait on. Submission
+    /// never blocks on the valuation itself.
+    pub fn submit(&self, request: ValuationRequest) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        self.tx
+            .as_ref()
+            .expect("server running")
+            .send((request, tx))
+            .expect("dispatcher alive");
+        Ticket { rx }
+    }
+
+    /// Submit and wait — the blocking single-request convenience.
+    pub fn call(&self, request: ValuationRequest) -> ValuationResponse {
+        self.submit(request).wait()
+    }
+
+    /// Cumulative service statistics (also snapshotted per response).
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Stop accepting requests, finish everything in flight, join all
+    /// worker threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.tx.take());
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+    }
+}
+
+impl<U: Utility + Send + Sync + 'static> Drop for ValuationServer<U> {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::{HashUtility, TableUtility};
+
+    #[test]
+    fn single_request_matches_direct_execution() {
+        let server = ValuationServer::start(TableUtility::paper_table1());
+        let resp = server.call(ValuationRequest::new(Estimator::ExactMc, 0, 0));
+        assert_eq!(resp.values, exact_mc_sv(&TableUtility::paper_table1()));
+        assert_eq!(resp.clients, vec![0, 1, 2]);
+        assert_eq!(resp.service.eval.evaluations, 8);
+        assert!(resp.run.batches >= 1);
+        assert_eq!(
+            resp.run.coalesced_batches, 0,
+            "a lone run coalesces with no one"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_runs_dedup_through_the_shared_cache() {
+        let server = ValuationServer::start(HashUtility { n: 8, seed: 3 });
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| server.submit(ValuationRequest::new(Estimator::ExactMc, 0, i)))
+            .collect();
+        let responses: Vec<ValuationResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        let expected = exact_mc_sv(&HashUtility { n: 8, seed: 3 });
+        for resp in &responses {
+            assert_eq!(resp.values, expected, "bit-identical to solo execution");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, 3);
+        // Three identical sweeps over 2^8 coalitions trained each model once.
+        assert_eq!(stats.eval.evaluations, 1 << 8);
+        // Flush-level dedup forwards between 2^8 (all three sweeps merged
+        // into one flush) and 3·2^8 (no cross-run coalescing) lookups.
+        assert!((1 << 8..=3 * (1 << 8)).contains(&stats.eval.lookups));
+        assert_eq!(stats.distinct_coalitions, stats.eval.lookups);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_runs_coalesce_into_merged_flushes() {
+        // Deterministic barrier check: with a burst of identical sweeps
+        // registered together, at least some flushes must merge batches
+        // from more than one run.
+        let server = ValuationServer::start(HashUtility { n: 7, seed: 9 });
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| server.submit(ValuationRequest::new(Estimator::ExactCc, 0, i)))
+            .collect();
+        let responses: Vec<ValuationResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        let stats = server.stats();
+        assert!(
+            stats.merged_batches > stats.flushes,
+            "some flush must merge more than one parked batch \
+             (merged {} over {} flushes)",
+            stats.merged_batches,
+            stats.flushes
+        );
+        assert!(
+            responses.iter().any(|r| r.run.coalesced_batches > 0),
+            "at least one run must observe cross-run coalescing"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn subgame_request_values_the_named_clients() {
+        // The sub-game on {1, 3, 4} of an additive utility has exact
+        // values equal to the members' weights.
+        let weights = vec![0.1, 0.2, 0.3, 0.4, 0.5];
+        let u = crate::utility::AdditiveUtility::new(0.0, weights.clone());
+        let server = ValuationServer::start(u);
+        let resp = server.call(
+            ValuationRequest::new(Estimator::ExactMc, 0, 0)
+                .for_clients(Coalition::from_members([1, 3, 4])),
+        );
+        assert_eq!(resp.clients, vec![1, 3, 4]);
+        for (pos, &i) in resp.clients.iter().enumerate() {
+            assert!(
+                (resp.values[pos] - weights[i]).abs() < 1e-12,
+                "client {i}: {} vs {}",
+                resp.values[pos],
+                weights[i]
+            );
+        }
+        // Sub-game coalitions were evaluated as global masks: the shared
+        // cache holds subsets of {1,3,4}, reusable by any later request.
+        assert_eq!(server.stats().eval.evaluations, 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mixed_estimators_share_overlapping_coalitions() {
+        let server = ValuationServer::start(HashUtility { n: 6, seed: 4 });
+        let tickets = vec![
+            server.submit(ValuationRequest::new(Estimator::ExactMc, 0, 1)),
+            server.submit(ValuationRequest::new(Estimator::Ipss, 20, 2)),
+            server.submit(ValuationRequest::new(Estimator::Loo, 0, 3)),
+            server.submit(ValuationRequest::new(Estimator::StratifiedMc, 18, 4)),
+            server.submit(ValuationRequest::new(Estimator::Owen, 56, 5)),
+            server.submit(ValuationRequest::new(Estimator::BanzhafPruned, 20, 6)),
+        ];
+        let responses: Vec<ValuationResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(responses.len(), 6);
+        for resp in &responses {
+            assert_eq!(resp.values.len(), 6);
+        }
+        // Everything any estimator touched is a subset of the exact
+        // sweep's 2^6 coalitions, so the shared cache trained at most 64.
+        let stats = server.stats();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.eval.evaluations, 1 << 6);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sampling_estimators_are_deterministic_under_coalescing() {
+        // The same (estimator, budget, seed) run twice — once alone, once
+        // amid concurrent traffic — must return bit-identical values.
+        let solo = {
+            let server = ValuationServer::start(HashUtility { n: 8, seed: 11 });
+            server
+                .call(ValuationRequest::new(Estimator::Ipss, 30, 7))
+                .values
+        };
+        let server = ValuationServer::start(HashUtility { n: 8, seed: 11 });
+        let tickets = vec![
+            server.submit(ValuationRequest::new(Estimator::Ipss, 30, 7)),
+            server.submit(ValuationRequest::new(Estimator::ExactMc, 0, 1)),
+            server.submit(ValuationRequest::new(Estimator::StratifiedCc, 24, 9)),
+        ];
+        let responses: Vec<ValuationResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(responses[0].values, solo);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_snapshot_is_attached_to_each_response() {
+        let server = ValuationServer::start(TableUtility::paper_table1());
+        let resp = server.call(ValuationRequest::new(Estimator::Loo, 0, 0));
+        assert_eq!(resp.service.requests, 1);
+        assert!(resp.service.flushes >= 1);
+        assert!(resp.service.traj.is_none(), "no traj source installed");
+        assert!(resp.wall_time > Duration::ZERO);
+        server.shutdown();
+    }
+
+    #[test]
+    fn traj_stats_source_is_surfaced() {
+        let server = ValuationServer::builder(TableUtility::paper_table1())
+            .traj_stats(|| TrajCacheStats {
+                probes: 5,
+                hits: 3,
+                ..Default::default()
+            })
+            .start();
+        let stats = server.stats();
+        assert_eq!(stats.traj.expect("source installed").probes, 5);
+        server.shutdown();
+    }
+}

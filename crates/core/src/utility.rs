@@ -40,6 +40,21 @@ pub trait Utility: Sync {
     /// implementation ([`ParallelUtility`]) can saturate all cores while a
     /// memoising one ([`CachedUtility`]) can dedup before training. The
     /// default runs serially and matches `eval` exactly.
+    ///
+    /// ```
+    /// use fedval_core::prelude::*;
+    ///
+    /// let u = CachedUtility::new(TableUtility::paper_table1());
+    /// let batch = u.eval_batch(&[
+    ///     Coalition::singleton(0),
+    ///     Coalition::full(3),
+    ///     Coalition::singleton(0), // duplicate — evaluated once
+    /// ]);
+    /// assert_eq!(batch[0], batch[2]);
+    /// assert_eq!(u.stats().evaluations, 2, "two distinct coalitions");
+    /// // Positional alignment with the input, duplicates included.
+    /// assert_eq!(batch[1], u.eval(Coalition::full(3)));
+    /// ```
     fn eval_batch(&self, coalitions: &[Coalition]) -> Vec<f64> {
         coalitions.iter().map(|&s| self.eval(s)).collect()
     }
@@ -66,7 +81,7 @@ impl<U: Utility + ?Sized> Utility for &U {
 ///
 /// `eval` stays serial (one coalition cannot be split); `eval_batch`
 /// size-sorts the batch (by `|S|`, ties by mask), splits it into
-/// sub-batches of at most [`ParallelUtility::chunk`] coalitions — shrunk
+/// sub-batches of at most [`DEFAULT_PAR_CHUNK`] coalitions — shrunk
 /// when the batch is small so every thread still gets work — and maps
 /// those with an order-preserving parallel iterator, forwarding each
 /// sub-batch to the inner utility's own `eval_batch`. Size-sorting at the
@@ -248,6 +263,17 @@ pub struct TrajCacheStats {
     /// round every coalition shares a bit-equal round-start model, so a
     /// cross-block cache should pay it once per client per sweep.
     pub round0_trainings: usize,
+    /// Entries currently resident — an occupancy *gauge*, unlike the
+    /// cumulative counters above. Each entry holds one update `Δ`
+    /// (`p` floats for a `p`-parameter model).
+    pub entries: usize,
+    /// Bytes currently held by resident entries (`p · 4` per entry) — the
+    /// quantity a byte-budgeted cache bounds.
+    pub bytes: usize,
+    /// Entries evicted so far to stay under the byte budget (cumulative;
+    /// 0 for an unbounded cache). Eviction only ever costs re-training —
+    /// values are bit-identical at any budget.
+    pub evictions: usize,
 }
 
 impl TrajCacheStats {

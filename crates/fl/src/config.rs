@@ -55,6 +55,15 @@ pub struct FedAvgConfig {
     /// process-wide `FEDVAL_TRAJCACHE` selection: enabled unless set to
     /// `0`/`false`/`off`.
     pub traj_cache: bool,
+    /// Byte budget for the per-call trajectory cache an `eval_batch`
+    /// creates when no shared handle is installed (`None` = unbounded).
+    /// Each cached update costs `p · 4` bytes for a `p`-parameter model;
+    /// crossing the budget evicts least-recently-used entries, trading
+    /// re-training for memory without changing any value. Defaults to the
+    /// process-wide `FEDVAL_TRAJCACHE_BYTES` selection (unset = no
+    /// bound). Shared handles carry their own budget —
+    /// `TrajectoryCache::with_byte_budget` — and ignore this field.
+    pub traj_cache_bytes: Option<usize>,
 }
 
 impl Default for FedAvgConfig {
@@ -70,8 +79,21 @@ impl Default for FedAvgConfig {
             server_lr: 1.0,
             backend: Backend::default(),
             traj_cache: trajcache_from_env(),
+            traj_cache_bytes: trajcache_bytes_from_env(),
         }
     }
+}
+
+/// Process-wide default of [`FedAvgConfig::traj_cache_bytes`], resolved
+/// once from `FEDVAL_TRAJCACHE_BYTES`: a byte count bounds every per-call
+/// trajectory cache; unset (or unparsable) leaves them unbounded.
+pub fn trajcache_bytes_from_env() -> Option<usize> {
+    static ENV_BYTES: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *ENV_BYTES.get_or_init(|| {
+        std::env::var("FEDVAL_TRAJCACHE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    })
 }
 
 /// Process-wide default of [`FedAvgConfig::traj_cache`], resolved once

@@ -28,6 +28,7 @@ pub mod fedavg;
 pub mod gradient;
 pub mod history;
 pub mod model;
+pub mod service;
 pub mod trajcache;
 pub mod utility;
 
@@ -42,5 +43,6 @@ pub use gradient::{
 };
 pub use history::TrainingHistory;
 pub use model::ModelSpec;
+pub use service::{serve, FlServiceConfig, FlValuationServer};
 pub use trajcache::{TrajCacheStats, TrajectoryCache};
 pub use utility::{FlUtility, GbdtUtility};

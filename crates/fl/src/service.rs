@@ -1,0 +1,166 @@
+//! FL wiring of the multi-valuation service: one call that stacks the
+//! whole engine — `ValuationServer` → shared `CachedUtility` →
+//! `ParallelUtility` fan-out → [`FlUtility`] lock-step lane blocks → one
+//! shared, optionally byte-budgeted [`TrajectoryCache`] — and hands back
+//! the server plus the cache handle.
+//!
+//! The coalescing server lives in `fedval_core::service` and is
+//! substrate-agnostic; what this module adds is the FL-specific sharing:
+//! every concurrent run's coalitions end up as lane blocks over **one**
+//! trajectory cache, so local trainings bit-equal across runs (all of
+//! round 0, plus any later-round coincidence) are paid once per cache
+//! lifetime — and, with a byte budget, within a bounded memory envelope.
+//!
+//! ```no_run
+//! use fedval_core::service::{Estimator, ValuationRequest};
+//! use fedval_fl::service::{serve, FlServiceConfig};
+//! # use fedval_data::{MnistLike, SyntheticSetup};
+//! # use fedval_fl::{FedAvgConfig, FlUtility, ModelSpec};
+//! # use rand::rngs::StdRng;
+//! # use rand::SeedableRng;
+//! # let (train, test) = MnistLike::new(1).generate_split(96, 48, 2);
+//! # let mut rng = StdRng::seed_from_u64(3);
+//! # let clients = SyntheticSetup::SameSizeSameDist.partition(&train, 4, &mut rng);
+//! # let utility = FlUtility::new(clients, test, ModelSpec::Linear, FedAvgConfig::default());
+//!
+//! // Bound the trajectory cache to ~4 MiB and serve.
+//! let (server, cache) = serve(
+//!     utility,
+//!     FlServiceConfig {
+//!         traj_budget_bytes: Some(4 << 20),
+//!         ..Default::default()
+//!     },
+//! );
+//! let loo = server.call(ValuationRequest::new(Estimator::Loo, 0, 0));
+//! let ipss = server.call(ValuationRequest::new(Estimator::Ipss, 16, 7));
+//! println!("LOO {:?} / IPSS {:?}", loo.values, ipss.values);
+//! println!("cache occupancy: {} bytes", cache.stats().bytes);
+//! server.shutdown();
+//! ```
+
+use std::sync::Arc;
+
+use fedval_core::service::ValuationServer;
+use fedval_core::utility::ParallelUtility;
+
+use crate::trajcache::TrajectoryCache;
+use crate::utility::FlUtility;
+
+/// A [`ValuationServer`] over the full FL evaluation stack.
+pub type FlValuationServer = ValuationServer<ParallelUtility<FlUtility>>;
+
+/// Options of [`serve`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlServiceConfig {
+    /// Byte budget of the shared trajectory cache (`None` = unbounded).
+    /// Each cached client-round update costs `p · 4` bytes for a
+    /// `p`-parameter model; crossing the budget evicts least-recently-used
+    /// entries without changing any value.
+    pub traj_budget_bytes: Option<usize>,
+    /// Thread count of the server-side `ParallelUtility` fan-out
+    /// (`None` = rayon's process-wide default, i.e. all cores).
+    pub threads: Option<usize>,
+}
+
+/// Start a multi-valuation server over one [`FlUtility`].
+///
+/// Installs a fresh shared [`TrajectoryCache`] (budgeted per
+/// `cfg.traj_budget_bytes`) on the utility — replacing any handle it
+/// already carried — wraps it in a `ParallelUtility` fan-out, and starts
+/// a `ValuationServer` whose [`ServiceStats`] report the cache's
+/// training-level accounting next to the coalition-level `EvalStats`.
+///
+/// Returns the server and the cache handle: hold the handle to inspect
+/// occupancy ([`TrajectoryCache::stats`]) or release memory between runs
+/// ([`TrajectoryCache::clear`]).
+///
+/// [`ServiceStats`]: fedval_core::service::ServiceStats
+pub fn serve(
+    utility: FlUtility,
+    cfg: FlServiceConfig,
+) -> (FlValuationServer, Arc<TrajectoryCache>) {
+    let cache = Arc::new(match cfg.traj_budget_bytes {
+        Some(budget) => TrajectoryCache::with_byte_budget(budget),
+        None => TrajectoryCache::new(),
+    });
+    let utility = utility.with_traj_cache(Arc::clone(&cache));
+    let fan_out = match cfg.threads {
+        Some(threads) => ParallelUtility::with_num_threads(utility, threads),
+        None => ParallelUtility::new(utility),
+    };
+    let stats_handle = Arc::clone(&cache);
+    let server = ValuationServer::builder(fan_out)
+        .traj_stats(move || stats_handle.stats())
+        .start();
+    (server, cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_core::coalition::Coalition;
+    use fedval_core::service::{Estimator, ValuationRequest};
+    use fedval_core::utility::Utility;
+    use fedval_data::{MnistLike, SyntheticSetup};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::config::FedAvgConfig;
+    use crate::model::ModelSpec;
+
+    fn tiny_utility() -> FlUtility {
+        let gen = MnistLike::new(21);
+        let (train, test) = gen.generate_split(96, 48, 22);
+        let mut rng = StdRng::seed_from_u64(23);
+        let clients = SyntheticSetup::SameSizeSameDist.partition(&train, 4, &mut rng);
+        FlUtility::new(
+            clients,
+            test,
+            ModelSpec::Linear,
+            FedAvgConfig {
+                rounds: 2,
+                local_epochs: 1,
+                seed: 24,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn served_values_match_direct_evaluation() {
+        let expected = {
+            let u = tiny_utility();
+            let coalitions: Vec<Coalition> = fedval_core::coalition::all_subsets(4).collect();
+            u.eval_batch(&coalitions)
+        };
+        let (server, cache) = serve(tiny_utility(), FlServiceConfig::default());
+        let resp = server.call(ValuationRequest::new(Estimator::ExactMc, 0, 0));
+        // The exact sweep touched every subset; spot-check through the
+        // exact values instead of raw utilities.
+        let direct = fedval_core::exact::exact_mc_sv(&tiny_utility());
+        assert_eq!(resp.values, direct);
+        assert_eq!(resp.service.eval.evaluations, expected.len());
+        let traj = resp.service.traj.expect("traj stats wired");
+        assert!(traj.local_trainings > 0);
+        assert_eq!(traj.entries, cache.stats().entries);
+        server.shutdown();
+    }
+
+    #[test]
+    fn budgeted_service_reports_occupancy_within_budget() {
+        let budget = 6 * 1000; // a handful of Linear-model updates
+        let (server, cache) = serve(
+            tiny_utility(),
+            FlServiceConfig {
+                traj_budget_bytes: Some(budget),
+                threads: Some(1),
+            },
+        );
+        let resp = server.call(ValuationRequest::new(Estimator::ExactMc, 0, 0));
+        let traj = resp.service.traj.expect("traj stats wired");
+        assert!(traj.bytes <= budget, "occupancy {} over budget", traj.bytes);
+        assert!(traj.evictions > 0, "a sweep this size must overflow");
+        assert_eq!(cache.byte_budget(), Some(budget));
+        server.shutdown();
+    }
+}

@@ -26,12 +26,43 @@
 //! share a cache across utilities with different configs, datasets or
 //! backends.
 //!
+//! **Memory.** Every entry holds one update `Δ` — `p` floats for a
+//! `p`-parameter model — so a long-lived shared handle (the
+//! multi-valuation service's) grows by `4·p` bytes per distinct
+//! client-round trajectory. Two release policies bound it:
+//! [`TrajectoryCache::with_byte_budget`] evicts least-recently-used
+//! entries whenever an insert crosses the budget, and
+//! [`TrajectoryCache::clear`] drops everything between runs. Both are
+//! pure memory/recompute trades: an evicted trajectory is re-trained on
+//! its next miss, bit-identically, so values never depend on the budget.
+//!
 //! The cache also doubles as the *accounting* instrument for the paper's
 //! cost model one level below whole-coalition utilities: it counts probes,
-//! hits and actual local trainings ([`TrajCacheStats`], defined in
-//! `fedval-core` next to `EvalStats`), and a counting-only mode
-//! ([`TrajectoryCache::counting_only`]) measures the uncached baseline
-//! without changing any behaviour.
+//! hits, actual local trainings, occupancy and evictions
+//! ([`TrajCacheStats`], defined in `fedval-core` next to `EvalStats`), and
+//! a counting-only mode ([`TrajectoryCache::counting_only`]) measures the
+//! uncached baseline without changing any behaviour.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use fedval_fl::TrajectoryCache;
+//!
+//! // A cache bounded to two 4-float updates (4 · 4 bytes each).
+//! let cache = TrajectoryCache::with_byte_budget(32);
+//! let delta = Arc::new(vec![0.5f32; 4]);
+//! for round in 0..3 {
+//!     let params = vec![round as f32; 4]; // distinct round-start params
+//!     let (h, fp) = (
+//!         TrajectoryCache::key_hash(&params),
+//!         TrajectoryCache::fingerprint(&params),
+//!     );
+//!     cache.record_training(round);
+//!     cache.insert(h, fp, 0, round, Arc::clone(&delta));
+//! }
+//! let stats = cache.stats();
+//! assert_eq!((stats.entries, stats.evictions), (2, 1)); // oldest evicted
+//! assert_eq!(stats.bytes, 32); // occupancy respects the budget
+//! ```
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -139,6 +170,10 @@ struct Entry {
     /// runs stay deterministic).
     fingerprint: u64,
     delta: Arc<Vec<f32>>,
+    /// Global generation at the entry's last touch (insert or hit) — the
+    /// recency order the byte-budget eviction walks. Atomic so a hit under
+    /// a shard *read* lock can still refresh it.
+    last_used: AtomicU64,
 }
 
 /// Number of independent lock shards; matches `CachedUtility`'s sharding
@@ -162,6 +197,16 @@ pub struct TrajectoryCache {
     /// Counting-only mode: probes never hit and nothing is stored, but
     /// every counter still runs — the uncached baseline instrument.
     enabled: bool,
+    /// Byte budget for resident entries (`None` = unbounded). Inserting
+    /// past the budget evicts least-recently-used entries — see
+    /// [`Self::with_byte_budget`].
+    budget: Option<usize>,
+    /// Monotone touch counter; every insert or hit stamps the entry with
+    /// the next generation, giving eviction a total recency order.
+    generation: AtomicU64,
+    /// Bytes currently resident (`Σ delta.len() · 4` over live entries).
+    bytes: AtomicU64,
+    evictions: AtomicU64,
     probes: AtomicU64,
     hits: AtomicU64,
     local_trainings: AtomicU64,
@@ -187,10 +232,31 @@ impl TrajectoryCache {
         Self::with_enabled(false)
     }
 
+    /// An enabled cache that holds at most `budget` bytes of updates
+    /// (each entry counts `p · 4` bytes for a `p`-parameter model;
+    /// key/fingerprint overhead is not charged). An insert that pushes
+    /// occupancy past the budget evicts least-recently-used entries —
+    /// never the entry just inserted — until occupancy fits again.
+    ///
+    /// Eviction trades memory for re-training and nothing else: values
+    /// stay bit-identical at any budget, because an evicted trajectory is
+    /// simply trained again on its next miss. This is the memory backstop
+    /// of long-lived shared handles (the multi-valuation service): one
+    /// `Δ` per distinct client-round otherwise grows without bound.
+    pub fn with_byte_budget(budget: usize) -> Self {
+        let mut cache = Self::with_enabled(true);
+        cache.budget = Some(budget);
+        cache
+    }
+
     fn with_enabled(enabled: bool) -> Self {
         TrajectoryCache {
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             enabled,
+            budget: None,
+            generation: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             probes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             local_trainings: AtomicU64::new(0),
@@ -201,6 +267,17 @@ impl TrajectoryCache {
     /// Whether lookups can hit (false for [`Self::counting_only`]).
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The byte budget, if one was set ([`Self::with_byte_budget`]).
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Bytes currently resident (the quantity [`Self::byte_budget`]
+    /// bounds): `p · 4` per cached entry.
+    pub fn resident_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed) as usize
     }
 
     /// Number of cached `(params, client, round)` → `Δ` entries.
@@ -222,22 +299,34 @@ impl TrajectoryCache {
             hits: self.hits.load(Ordering::Relaxed) as usize,
             local_trainings: self.local_trainings.load(Ordering::Relaxed) as usize,
             round0_trainings: self.round0_trainings.load(Ordering::Relaxed) as usize,
+            entries: self.len(),
+            bytes: self.resident_bytes(),
+            evictions: self.evictions.load(Ordering::Relaxed) as usize,
         }
     }
 
-    /// Reset the statistics counters (the cache itself is kept).
+    /// Reset the statistics counters (the cache itself is kept, so the
+    /// `entries`/`bytes` occupancy gauges are unaffected).
     pub fn reset_stats(&self) {
         self.probes.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.local_trainings.store(0, Ordering::Relaxed);
         self.round0_trainings.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
-    /// Drop all entries and statistics.
+    /// Drop all entries and statistics — the *per-run* memory-release
+    /// policy: a service holding a shared handle can `clear()` between
+    /// runs instead of (or on top of) a byte budget. Holds every shard
+    /// lock while zeroing the byte gauge, so a racing insert can never
+    /// leave the gauge out of sync with the maps.
     pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.write().unwrap().clear();
+        let mut shards: Vec<_> = self.shards.iter().map(|s| s.write().unwrap()).collect();
+        for shard in shards.iter_mut() {
+            shard.clear();
         }
+        self.bytes.store(0, Ordering::Relaxed);
+        drop(shards);
         self.reset_stats();
     }
 
@@ -262,6 +351,10 @@ impl TrajectoryCache {
             return None;
         }
         self.hits.fetch_add(1, Ordering::Relaxed);
+        entry.last_used.store(
+            self.generation.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         Some(Arc::clone(&entry.delta))
     }
 
@@ -277,7 +370,10 @@ impl TrajectoryCache {
     /// Insert the update for a key. First-wins on a (vanishingly rare)
     /// hash collision with a different fingerprint; re-inserting the same
     /// key/fingerprint (two threads racing on one trajectory) is benign —
-    /// both deltas are bit-identical by determinism.
+    /// both deltas are bit-identical by determinism. On a budgeted cache
+    /// ([`Self::with_byte_budget`]) an insert that crosses the budget
+    /// evicts least-recently-used entries (never this one) until resident
+    /// bytes fit again.
     pub fn insert(
         &self,
         base_hash: u64,
@@ -290,8 +386,70 @@ impl TrajectoryCache {
             return;
         }
         let key = (base_hash, client as u32, round as u32);
-        let mut shard = self.shards[shard_of(&key)].write().unwrap();
-        shard.entry(key).or_insert(Entry { fingerprint, delta });
+        let entry_bytes = delta.len() * std::mem::size_of::<f32>();
+        let new_total = {
+            // The byte gauge moves while the shard write lock is held, so
+            // map contents and accounting stay atomic with respect to
+            // `evict_to_budget`/`clear` (both take every shard lock).
+            let mut shard = self.shards[shard_of(&key)].write().unwrap();
+            if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(key) {
+                e.insert(Entry {
+                    fingerprint,
+                    delta,
+                    last_used: AtomicU64::new(self.generation.fetch_add(1, Ordering::Relaxed)),
+                });
+                self.bytes.fetch_add(entry_bytes as u64, Ordering::Relaxed) as usize + entry_bytes
+            } else {
+                return; // first-wins: occupancy unchanged
+            }
+        };
+        if new_total > self.budget.unwrap_or(usize::MAX) {
+            self.evict_to_budget(&key);
+        }
+    }
+
+    /// Evict least-recently-used entries until resident bytes fit the
+    /// budget, sparing `protect` (the entry whose insert triggered the
+    /// sweep — a budget smaller than one update still caches the newest
+    /// trajectory rather than thrashing on itself). Takes every shard's
+    /// write lock in index order, so concurrent evictions cannot deadlock
+    /// and the LRU order is exact at the moment of the sweep: with all
+    /// locks held no generation stamp can move, so one scan collects the
+    /// full recency order and the sweep evicts from it without rescanning
+    /// per victim.
+    fn evict_to_budget(&self, protect: &Key) {
+        let budget = match self.budget {
+            Some(b) => b,
+            None => return,
+        };
+        let mut shards: Vec<_> = self.shards.iter().map(|s| s.write().unwrap()).collect();
+        let mut resident = self.bytes.load(Ordering::Relaxed) as usize;
+        if resident <= budget {
+            return; // a concurrent sweep already finished the job
+        }
+        // (last_used, shard, key) for every unprotected entry, oldest
+        // first; generation stamps are unique, so the order is total.
+        let mut candidates: Vec<(u64, usize, Key)> = shards
+            .iter()
+            .enumerate()
+            .flat_map(|(si, shard)| {
+                shard
+                    .iter()
+                    .filter(|(k, _)| *k != protect)
+                    .map(move |(k, e)| (e.last_used.load(Ordering::Relaxed), si, *k))
+            })
+            .collect();
+        candidates.sort_unstable();
+        for (_, si, key) in candidates {
+            if resident <= budget {
+                break;
+            }
+            let evicted = shards[si].remove(&key).expect("victim key resident");
+            let sz = evicted.delta.len() * std::mem::size_of::<f32>();
+            resident -= sz;
+            self.bytes.fetch_sub(sz as u64, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Key hash of a round-start parameter vector.
@@ -399,6 +557,87 @@ mod tests {
         assert_eq!(stats.round0_trainings, 1);
         assert!(cache.is_empty());
         assert!(!cache.is_enabled());
+    }
+
+    /// Key/fingerprint pair for a synthetic params vector.
+    fn keys(params: &[f32]) -> (u64, u64) {
+        (
+            TrajectoryCache::key_hash(params),
+            TrajectoryCache::fingerprint(params),
+        )
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_counts_exactly() {
+        const P: usize = 16; // floats per entry → 64 bytes each
+        let cache = TrajectoryCache::with_byte_budget(3 * P * 4);
+        assert_eq!(cache.byte_budget(), Some(192));
+        // Insert rounds 0..3 for one client: all fit (3 entries, 192 B).
+        let bases: Vec<Vec<f32>> = (0..4).map(|r| base(100 + r as u64, P)).collect();
+        for (r, b) in bases.iter().enumerate().take(3) {
+            let (h, fp) = keys(b);
+            cache.insert(h, fp, 0, r, Arc::new(vec![r as f32; P]));
+        }
+        assert_eq!(cache.stats().entries, 3);
+        assert_eq!(cache.stats().bytes, 192);
+        assert_eq!(cache.stats().evictions, 0);
+        // Touch round 0 (a hit refreshes its recency), then overflow with
+        // round 3: round 1 is now the least recently used and must go.
+        let (h0, fp0) = keys(&bases[0]);
+        assert!(cache.lookup(h0, fp0, 0, 0).is_some());
+        let (h3, fp3) = keys(&bases[3]);
+        cache.insert(h3, fp3, 0, 3, Arc::new(vec![3.0; P]));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.bytes, 192);
+        assert_eq!(stats.evictions, 1);
+        let (h1, fp1) = keys(&bases[1]);
+        assert!(
+            cache.lookup(h1, fp1, 0, 1).is_none(),
+            "LRU entry (round 1, never touched after insert) must be evicted"
+        );
+        assert!(cache.lookup(h0, fp0, 0, 0).is_some(), "hot entry survives");
+        assert!(cache.lookup(h3, fp3, 0, 3).is_some(), "newest entry kept");
+        // reset_stats clears the cumulative eviction counter but not the
+        // occupancy gauges.
+        cache.reset_stats();
+        let stats = cache.stats();
+        assert_eq!((stats.evictions, stats.entries, stats.bytes), (0, 3, 192));
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_smaller_than_one_entry_keeps_newest() {
+        const P: usize = 8;
+        let cache = TrajectoryCache::with_byte_budget(P * 4 - 1);
+        let a = base(1, P);
+        let b = base(2, P);
+        let (ha, fpa) = keys(&a);
+        cache.insert(ha, fpa, 0, 0, Arc::new(vec![1.0; P]));
+        // Over budget, but the just-inserted entry is protected.
+        assert_eq!(cache.stats().entries, 1);
+        let (hb, fpb) = keys(&b);
+        cache.insert(hb, fpb, 1, 0, Arc::new(vec![2.0; P]));
+        // The older entry is evicted; the newest always stays resident.
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (1, 1));
+        assert!(cache.lookup(ha, fpa, 0, 0).is_none());
+        assert!(cache.lookup(hb, fpb, 1, 0).is_some());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = TrajectoryCache::new();
+        assert_eq!(cache.byte_budget(), None);
+        for r in 0..32 {
+            let b = base(500 + r as u64, 8);
+            let (h, fp) = keys(&b);
+            cache.insert(h, fp, 0, r, Arc::new(vec![0.0; 8]));
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (32, 0));
+        assert_eq!(stats.bytes, 32 * 8 * 4);
     }
 
     #[test]

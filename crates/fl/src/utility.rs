@@ -29,8 +29,8 @@ pub const DEFAULT_LANE_BLOCK: usize = fedval_core::utility::DEFAULT_PAR_CHUNK;
 ///
 /// Single evaluations run the solo reference loop; batches are grouped
 /// into size-sorted lane blocks and trained in lock-step by
-/// [`train_coalitions`] — bit-identical values, one shared data pass per
-/// block.
+/// [`crate::fedavg::train_coalitions`] — bit-identical values, one shared
+/// data pass per block.
 ///
 /// Wrap in [`fedval_core::utility::CachedUtility`] so each coalition is
 /// trained exactly once (the paper's `τ` accounting).
@@ -45,6 +45,26 @@ pub const DEFAULT_LANE_BLOCK: usize = fedval_core::utility::DEFAULT_PAR_CHUNK;
 /// handle that additionally persists hits across calls — including the
 /// sub-batches a `ParallelUtility` fans out — for a whole valuation run.
 /// Values are bit-identical in every mode.
+///
+/// ```
+/// use fedval_core::prelude::*;
+/// use fedval_data::{MnistLike, SyntheticSetup};
+/// use fedval_fl::{FedAvgConfig, FlUtility, ModelSpec};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// // Three clients over a tiny synthetic split, one FedAvg round.
+/// let (train, test) = MnistLike::new(1).generate_split(60, 30, 2);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let clients = SyntheticSetup::SameSizeSameDist.partition(&train, 3, &mut rng);
+/// let cfg = FedAvgConfig { rounds: 1, local_epochs: 1, ..Default::default() };
+/// let utility = FlUtility::new(clients, test, ModelSpec::Linear, cfg);
+///
+/// // Batches train in lock-step lane blocks — bit-identical to solo.
+/// let batch = utility.eval_batch(&[Coalition::singleton(0), Coalition::full(3)]);
+/// assert_eq!(batch[1], utility.eval(Coalition::full(3)));
+/// assert!((0.0..=1.0).contains(&batch[0]), "accuracy in [0, 1]");
+/// ```
 pub struct FlUtility {
     clients: Vec<Dataset>,
     test: Dataset,
@@ -164,7 +184,10 @@ impl Utility for FlUtility {
         let owned: Option<TrajectoryCache> = match &self.traj_cache {
             Some(_) => None,
             None if self.cfg.traj_cache && coalitions.len() > self.lane_block => {
-                Some(TrajectoryCache::new())
+                Some(match self.cfg.traj_cache_bytes {
+                    Some(budget) => TrajectoryCache::with_byte_budget(budget),
+                    None => TrajectoryCache::new(),
+                })
             }
             None => None,
         };

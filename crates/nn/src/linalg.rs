@@ -257,8 +257,9 @@ pub(crate) fn lane_a_bt_bias_with<R>(
 ///
 /// The nest is lane-outer so each lane's weight panel stays resident
 /// across its rows while the shared input is served from cache; each
-/// `(row, lane)` pair is handed to [`a_bt_row`], so every lane's
-/// arithmetic is bit-identical to a solo [`matmul_a_bt_bias`] call.
+/// `(row, lane)` pair is handed to the same per-row kernel as the solo
+/// path, so every lane's arithmetic is bit-identical to a solo
+/// [`matmul_a_bt_bias`] call.
 ///
 /// `relu_masks`, when provided, must hold `lanes·m·n` slots; the positive
 /// mask of each active lane's output is written in place (the backward

@@ -1,0 +1,208 @@
+//! The multi-valuation service's contracts over the real FL substrate:
+//! concurrent requests coalesce into shared work (strictly fewer models
+//! trained and local trainings than the sum of solo runs) while every
+//! request's values stay bit-identical to solo execution — and the
+//! trajectory cache's byte-budget eviction bounds memory without
+//! changing a single bit.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fedval_core::coalition::{all_subsets, Coalition};
+use fedval_core::service::{Estimator, ValuationRequest};
+use fedval_core::utility::Utility;
+use fedval_data::{Dataset, MnistLike, SyntheticSetup};
+use fedval_fl::service::{serve, FlServiceConfig};
+use fedval_fl::{FedAvgConfig, FlUtility, ModelSpec, TrajectoryCache};
+
+const N_CLIENTS: usize = 4;
+
+fn federated_problem() -> (Vec<Dataset>, Dataset) {
+    let gen = MnistLike::new(601);
+    let (train, test) = gen.generate_split(24 * N_CLIENTS, 60, 602);
+    let mut rng = StdRng::seed_from_u64(603);
+    let clients = SyntheticSetup::SameSizeSameDist.partition(&train, N_CLIENTS, &mut rng);
+    (clients, test)
+}
+
+fn fl_utility() -> FlUtility {
+    let (clients, test) = federated_problem();
+    FlUtility::new(
+        clients,
+        test,
+        ModelSpec::default_mlp(),
+        FedAvgConfig {
+            rounds: 2,
+            local_epochs: 1,
+            seed: 604,
+            ..Default::default()
+        },
+    )
+}
+
+fn workload() -> Vec<ValuationRequest> {
+    vec![
+        ValuationRequest::new(Estimator::ExactMc, 0, 1),
+        ValuationRequest::new(Estimator::Ipss, 8, 2),
+        ValuationRequest::new(Estimator::Loo, 0, 3),
+        ValuationRequest::new(Estimator::StratifiedCc, 8, 4),
+    ]
+}
+
+/// Serve each request alone on a fresh server; returns per-request
+/// values plus the summed (models, local trainings) cost.
+fn solo_baseline() -> (Vec<Vec<f64>>, usize, usize, usize) {
+    let mut values = Vec::new();
+    let mut models = 0;
+    let mut trainings = 0;
+    let mut round0 = 0;
+    for req in workload() {
+        let (server, _cache) = serve(fl_utility(), FlServiceConfig::default());
+        values.push(server.call(req).values);
+        let stats = server.stats();
+        let traj = stats.traj.expect("traj wired");
+        models += stats.eval.evaluations;
+        trainings += traj.local_trainings;
+        round0 += traj.round0_trainings;
+        server.shutdown();
+    }
+    (values, models, trainings, round0)
+}
+
+#[test]
+fn concurrent_requests_coalesce_and_stay_bit_identical() {
+    let (solo_values, solo_models, solo_trainings, solo_round0) = solo_baseline();
+
+    let (server, cache) = serve(fl_utility(), FlServiceConfig::default());
+    let tickets: Vec<_> = workload().into_iter().map(|r| server.submit(r)).collect();
+    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+
+    // Contract 1: bit-identical to solo execution, per request.
+    for (resp, solo) in responses.iter().zip(&solo_values) {
+        assert_eq!(
+            &resp.values, solo,
+            "{:?} diverged under coalescing",
+            resp.request.estimator
+        );
+    }
+
+    // Contract 2: strictly cheaper than the sum of solo runs, at both
+    // accounting levels.
+    let stats = server.stats();
+    let traj = stats.traj.expect("traj wired");
+    assert!(
+        stats.eval.evaluations < solo_models,
+        "coalition dedup: {} served vs {} solo",
+        stats.eval.evaluations,
+        solo_models
+    );
+    assert!(
+        traj.local_trainings < solo_trainings,
+        "trajectory dedup: {} served vs {} solo",
+        traj.local_trainings,
+        solo_trainings
+    );
+    // Round 0 collapses to roughly one local training per client for the
+    // whole service lifetime — the strongest cross-run sharing signal.
+    // Not exactly one: concurrent lane blocks may race on a trajectory
+    // and each count a (bit-identical) training, so assert the dedup
+    // against the solo sum instead of an exact count.
+    assert!(
+        traj.round0_trainings >= N_CLIENTS && traj.round0_trainings < solo_round0,
+        "round-0 dedup: {} served vs {} solo",
+        traj.round0_trainings,
+        solo_round0
+    );
+
+    // The trajectory stats the server reports come from the same handle
+    // `serve` returned.
+    assert_eq!(traj.local_trainings, cache.stats().local_trainings);
+    server.shutdown();
+}
+
+#[test]
+fn service_with_traj_budget_is_bit_identical_and_bounded() {
+    let reqs = || vec![ValuationRequest::new(Estimator::ExactMc, 0, 1)];
+    let (unbounded_server, _c) = serve(fl_utility(), FlServiceConfig::default());
+    let unbounded = unbounded_server.call(reqs().remove(0));
+    unbounded_server.shutdown();
+
+    // A budget of a few updates forces steady-state eviction mid-sweep.
+    let p = fl_utility().spec().build(64, 10, 0).param_count();
+    let budget = 3 * p * 4;
+    let (server, cache) = serve(
+        fl_utility(),
+        FlServiceConfig {
+            traj_budget_bytes: Some(budget),
+            threads: Some(1),
+        },
+    );
+    let bounded = server.call(reqs().remove(0));
+    let traj = bounded.service.traj.expect("traj wired");
+    assert_eq!(
+        bounded.values, unbounded.values,
+        "eviction must never change a value"
+    );
+    assert!(traj.evictions > 0, "sweep must overflow a 3-update budget");
+    assert!(
+        traj.bytes <= budget,
+        "occupancy {} exceeds budget {budget}",
+        traj.bytes
+    );
+    assert_eq!(
+        traj.entries * p * 4,
+        traj.bytes,
+        "uniform entries: p floats each"
+    );
+    assert_eq!(cache.stats().evictions, traj.evictions);
+    server.shutdown();
+}
+
+#[test]
+fn bounded_eval_batch_sweep_matches_unbounded_bit_for_bit() {
+    // The eviction contract at the FlUtility level, without the server:
+    // an exhaustive eval_batch sweep through a byte-budgeted shared cache
+    // must reproduce the unbounded sweep exactly, while evicting.
+    let coalitions: Vec<Coalition> = all_subsets(N_CLIENTS).collect();
+    let unbounded_cache = Arc::new(TrajectoryCache::new());
+    let unbounded = fl_utility()
+        .with_traj_cache(Arc::clone(&unbounded_cache))
+        .eval_batch(&coalitions);
+    let full_bytes = unbounded_cache.stats().bytes;
+    assert!(full_bytes > 0);
+
+    // Half the unbounded occupancy: plenty of eviction, still useful.
+    let bounded_cache = Arc::new(TrajectoryCache::with_byte_budget(full_bytes / 2));
+    let bounded = fl_utility()
+        .with_traj_cache(Arc::clone(&bounded_cache))
+        .eval_batch(&coalitions);
+    assert_eq!(bounded, unbounded, "eviction changed a value");
+    let stats = bounded_cache.stats();
+    assert!(stats.evictions > 0, "half budget must evict");
+    assert!(stats.bytes <= full_bytes / 2);
+    // Eviction costs extra trainings, never correctness; the bounded run
+    // may train more than the unbounded one but never more than the
+    // cache-free worst case of one training per (lane group, client).
+    assert!(stats.local_trainings >= unbounded_cache.stats().local_trainings);
+}
+
+#[test]
+fn subgame_requests_share_the_global_coalition_space() {
+    // A sub-game request's coalitions are global masks: valuing {0,1,2}
+    // after a full exact sweep must train nothing new.
+    let (server, _cache) = serve(fl_utility(), FlServiceConfig::default());
+    let full = server.call(ValuationRequest::new(Estimator::ExactMc, 0, 1));
+    let models_after_full = full.service.eval.evaluations;
+    let sub = server.call(
+        ValuationRequest::new(Estimator::ExactMc, 0, 1)
+            .for_clients(Coalition::from_members([0, 1, 2])),
+    );
+    assert_eq!(sub.clients, vec![0, 1, 2]);
+    assert_eq!(
+        sub.service.eval.evaluations, models_after_full,
+        "sub-game coalitions must all be cache hits"
+    );
+    server.shutdown();
+}
