@@ -3,7 +3,7 @@
 //! cheaper together than alone.
 //!
 //! One workload (six requests: exact MC/CC sweeps, IPSS, stratified MC,
-//! Owen, LOO over one FedAvg utility), three serving modes:
+//! Owen, LOO over one FedAvg utility), four serving modes:
 //!
 //! * **solo** — every request on its own fresh server (fresh coalition
 //!   cache, fresh trajectory cache): the no-sharing baseline a
@@ -11,20 +11,26 @@
 //! * **sequential** — one long-lived server, requests submitted one at a
 //!   time (1 concurrent run): sharing via the caches only;
 //! * **concurrent** — the same server fed all requests at once (N
-//!   concurrent runs): sharing plus coalescing into merged lane blocks.
+//!   concurrent runs): sharing plus coalescing into merged lane blocks,
+//!   under the pure all-runs-parked barrier;
+//! * **windowed** — concurrent again, with the bounded-latency flush
+//!   window (5 ms): the barrier still coalesces bursts, but no parked
+//!   batch can wait longer than the window on a straggler.
 //!
-//! All three modes must return **bit-identical** values per request (the
+//! All four modes must return **bit-identical** values per request (the
 //! determinism contract), and the shared modes must train strictly fewer
 //! models and local updates than the solo sum. Requests/sec per mode, the
-//! training counts and the dedup factor go to `BENCH_service.json` at the
-//! workspace root, stamped with `machine_cores`/`rayon_num_threads` like
-//! every tracking report.
+//! training counts, the dedup factor and per-mode park-wait latency
+//! percentiles (p50/p99 of each run's longest wait at the coalescer — the
+//! tail the flush window exists to bound) go to `BENCH_service.json` at
+//! the workspace root, stamped with `machine_cores`/`rayon_num_threads`
+//! like every tracking report.
 //!
 //! Knobs: `FEDVAL_SERVICE_N=<clients>` (default 7; `FEDVAL_QUICK=1` drops
 //! to 5), `FEDVAL_SERVICE_JSON=<path>` to redirect the report.
 
 use std::io::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fedval_bench::quick;
 use fedval_core::service::{Estimator, ValuationRequest, ValuationResponse};
@@ -33,6 +39,8 @@ use fedval_fl::service::{serve, FlServiceConfig};
 use fedval_fl::{FedAvgConfig, FlUtility, ModelSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+const WINDOW: Duration = Duration::from_millis(5);
 
 fn n_clients() -> usize {
     if let Ok(v) = std::env::var("FEDVAL_SERVICE_N") {
@@ -80,25 +88,50 @@ struct Mode {
     values: Vec<Vec<f64>>,
     evaluations: usize,
     local_trainings: usize,
+    /// Each run's longest park wait at the coalescer, in seconds.
+    park_waits: Vec<f64>,
+}
+
+/// Percentile (0..=100) of a small sample, nearest-rank.
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// Serve the workload: `solo` = fresh server per request (the
 /// no-sharing baseline), otherwise one server with all requests in
-/// flight (`concurrent`) or one at a time.
-fn run_mode(n: usize, reqs: &[ValuationRequest], concurrent: bool, solo: bool) -> Mode {
+/// flight (`concurrent`, optionally windowed) or one at a time.
+fn run_mode(
+    n: usize,
+    reqs: &[ValuationRequest],
+    concurrent: bool,
+    solo: bool,
+    window: Option<Duration>,
+) -> Mode {
+    let cfg = FlServiceConfig {
+        flush_max_wait: window,
+        ..Default::default()
+    };
     let start = Instant::now();
     let mut values = Vec::new();
+    let mut park_waits = Vec::new();
     let mut evaluations = 0;
     let mut local_trainings = 0;
     let mut finish = |responses: Vec<ValuationResponse>, evals: usize, trainings: usize| {
+        park_waits.extend(responses.iter().map(|r| r.run.park_wait_max.as_secs_f64()));
         values.extend(responses.into_iter().map(|r| r.values));
         evaluations += evals;
         local_trainings += trainings;
     };
     if solo {
         for req in reqs {
-            let (server, _cache) = serve(fl_utility(n), FlServiceConfig::default());
-            let resp = server.call(req.clone());
+            let (server, _cache) = serve(fl_utility(n), cfg);
+            let resp = server.call(req.clone()).expect("healthy run");
             let stats = server.stats();
             finish(
                 vec![resp],
@@ -108,12 +141,17 @@ fn run_mode(n: usize, reqs: &[ValuationRequest], concurrent: bool, solo: bool) -
             server.shutdown();
         }
     } else {
-        let (server, _cache) = serve(fl_utility(n), FlServiceConfig::default());
+        let (server, _cache) = serve(fl_utility(n), cfg);
         let responses: Vec<ValuationResponse> = if concurrent {
             let tickets: Vec<_> = reqs.iter().map(|r| server.submit(r.clone())).collect();
-            tickets.into_iter().map(|t| t.wait()).collect()
+            tickets
+                .into_iter()
+                .map(|t| t.wait().expect("healthy run"))
+                .collect()
         } else {
-            reqs.iter().map(|r| server.call(r.clone())).collect()
+            reqs.iter()
+                .map(|r| server.call(r.clone()).expect("healthy run"))
+                .collect()
         };
         let stats = server.stats();
         finish(
@@ -128,7 +166,34 @@ fn run_mode(n: usize, reqs: &[ValuationRequest], concurrent: bool, solo: bool) -
         values,
         evaluations,
         local_trainings,
+        park_waits,
     }
+}
+
+fn print_mode(label: &str, m: &Mode, r: usize) {
+    println!(
+        "{label:11} {:8.3}s  {:6.2} req/s  {:5} models  {:6} local trainings  \
+         park wait p50 {:6.1}ms p99 {:6.1}ms",
+        m.secs,
+        r as f64 / m.secs,
+        m.evaluations,
+        m.local_trainings,
+        percentile(&m.park_waits, 50.0) * 1e3,
+        percentile(&m.park_waits, 99.0) * 1e3,
+    );
+}
+
+fn mode_json(m: &Mode, r: usize) -> String {
+    format!(
+        "{{\"seconds\": {:.6}, \"requests_per_sec\": {:.4}, \"models_trained\": {}, \
+         \"local_trainings\": {}, \"park_wait_p50_ms\": {:.3}, \"park_wait_p99_ms\": {:.3}}}",
+        m.secs,
+        r as f64 / m.secs,
+        m.evaluations,
+        m.local_trainings,
+        percentile(&m.park_waits, 50.0) * 1e3,
+        percentile(&m.park_waits, 99.0) * 1e3,
+    )
 }
 
 fn main() {
@@ -137,32 +202,18 @@ fn main() {
     let r = reqs.len();
     println!("service_throughput: n = {n} clients, {r} valuation requests");
 
-    let solo = run_mode(n, &reqs, false, true);
-    println!(
-        "solo        {:8.3}s  {:6.2} req/s  {:5} models  {:6} local trainings",
-        solo.secs,
-        r as f64 / solo.secs,
-        solo.evaluations,
-        solo.local_trainings
-    );
-    let sequential = run_mode(n, &reqs, false, false);
-    println!(
-        "sequential  {:8.3}s  {:6.2} req/s  {:5} models  {:6} local trainings",
-        sequential.secs,
-        r as f64 / sequential.secs,
-        sequential.evaluations,
-        sequential.local_trainings
-    );
-    let concurrent = run_mode(n, &reqs, true, false);
-    println!(
-        "concurrent  {:8.3}s  {:6.2} req/s  {:5} models  {:6} local trainings",
-        concurrent.secs,
-        r as f64 / concurrent.secs,
-        concurrent.evaluations,
-        concurrent.local_trainings
-    );
+    let solo = run_mode(n, &reqs, false, true, None);
+    print_mode("solo", &solo, r);
+    let sequential = run_mode(n, &reqs, false, false, None);
+    print_mode("sequential", &sequential, r);
+    let concurrent = run_mode(n, &reqs, true, false, None);
+    print_mode("concurrent", &concurrent, r);
+    let windowed = run_mode(n, &reqs, true, false, Some(WINDOW));
+    print_mode("windowed", &windowed, r);
 
-    let identical = solo.values == sequential.values && solo.values == concurrent.values;
+    let identical = solo.values == sequential.values
+        && solo.values == concurrent.values
+        && solo.values == windowed.values;
     let dedup_models = solo.evaluations as f64 / concurrent.evaluations as f64;
     let dedup_trainings = solo.local_trainings as f64 / concurrent.local_trainings as f64;
     println!(
@@ -182,20 +233,13 @@ fn main() {
     let path = std::env::var("FEDVAL_SERVICE_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR")));
     let report = format!(
-        "{{\n  \"bench\": \"service_throughput\",\n  \"scenario\": \"6 valuation requests (exact MC/CC, IPSS, stratified MC, Owen, LOO) over one FedAvg utility: fresh server per request (solo) vs one server at 1 (sequential) and N (concurrent) requests in flight\",\n  \"n_clients\": {n},\n  \"requests\": {r},\n  {},\n  \"solo\": {{\"seconds\": {:.6}, \"requests_per_sec\": {:.4}, \"models_trained\": {}, \"local_trainings\": {}}},\n  \"sequential\": {{\"seconds\": {:.6}, \"requests_per_sec\": {:.4}, \"models_trained\": {}, \"local_trainings\": {}}},\n  \"concurrent\": {{\"seconds\": {:.6}, \"requests_per_sec\": {:.4}, \"models_trained\": {}, \"local_trainings\": {}}},\n  \"dedup_factor_models\": {dedup_models:.4},\n  \"dedup_factor_local_trainings\": {dedup_trainings:.4},\n  \"values_bit_identical\": {identical}\n}}\n",
+        "{{\n  \"bench\": \"service_throughput\",\n  \"scenario\": \"6 valuation requests (exact MC/CC, IPSS, stratified MC, Owen, LOO) over one FedAvg utility: fresh server per request (solo) vs one server at 1 (sequential) and N (concurrent) requests in flight, plus concurrent under a {window_ms} ms bounded-latency flush window (windowed)\",\n  \"n_clients\": {n},\n  \"requests\": {r},\n  \"flush_window_ms\": {window_ms},\n  {},\n  \"solo\": {},\n  \"sequential\": {},\n  \"concurrent\": {},\n  \"windowed\": {},\n  \"dedup_factor_models\": {dedup_models:.4},\n  \"dedup_factor_local_trainings\": {dedup_trainings:.4},\n  \"values_bit_identical\": {identical}\n}}\n",
         fedval_bench::parallelism_json_fields(),
-        solo.secs,
-        r as f64 / solo.secs,
-        solo.evaluations,
-        solo.local_trainings,
-        sequential.secs,
-        r as f64 / sequential.secs,
-        sequential.evaluations,
-        sequential.local_trainings,
-        concurrent.secs,
-        r as f64 / concurrent.secs,
-        concurrent.evaluations,
-        concurrent.local_trainings,
+        mode_json(&solo, r),
+        mode_json(&sequential, r),
+        mode_json(&concurrent, r),
+        mode_json(&windowed, r),
+        window_ms = WINDOW.as_millis(),
     );
     let mut file = std::fs::File::create(&path).expect("create BENCH_service.json");
     file.write_all(report.as_bytes())

@@ -50,6 +50,7 @@ pub mod banzhaf;
 pub mod baselines;
 pub mod coalition;
 pub mod exact;
+pub mod fault;
 pub mod ipss;
 pub mod kgreedy;
 pub mod loo;
@@ -70,6 +71,7 @@ pub mod prelude {
     };
     pub use crate::coalition::{binom, binom_u128, subsets_up_to, Coalition};
     pub use crate::exact::{exact_cc_sv, exact_mc_sv, exact_perm_sv};
+    pub use crate::fault::{FaultyUtility, InjectedFault, PERSISTENT};
     pub use crate::ipss::{
         compute_k_star, ipss, ipss_adaptive, ipss_values, AdaptiveIpssConfig, IpssConfig,
         IpssWeighting,
@@ -81,8 +83,8 @@ pub mod prelude {
     };
     pub use crate::owen::{owen_sampling, OwenConfig};
     pub use crate::service::{
-        Estimator, RunStats, ServiceStats, Ticket, ValuationRequest, ValuationResponse,
-        ValuationServer,
+        partial_prefix_fold, Estimator, FlushWindow, LimitPolicy, RetryPolicy, RunStats,
+        ServiceStats, Ticket, ValuationError, ValuationRequest, ValuationResponse, ValuationServer,
     };
     pub use crate::stratified::{
         stratified_sampling, stratified_sampling_values, Scheme, StratifiedConfig,

@@ -41,10 +41,39 @@
 //! The barrier couples a run's batch latency to the slowest concurrent
 //! run's inter-batch compute, in exchange for maximal coalescing; a run
 //! alone on the server flushes immediately, so the single-tenant case
-//! degenerates to a plain cached evaluation. Utility determinism makes
-//! the whole construction invisible in the results: every value is a pure
-//! function of its coalition mask, so coalesced runs return **bit-identical**
-//! values to solo runs, under any interleaving.
+//! degenerates to a plain cached evaluation. To bound the coupling, a
+//! [`FlushWindow`] adds two early triggers — flush after `max_wait` of
+//! parked time, or once `max_parked` batches are parked — trading some
+//! coalescing for a latency cap. Utility determinism makes every
+//! schedule invisible in the results: every value is a pure function of
+//! its coalition mask, so coalesced runs return **bit-identical** values
+//! to solo runs, under any interleaving and any flush trigger.
+//!
+//! # Failure model
+//!
+//! Failure is a first-class code path, not an abort:
+//!
+//! - **Typed errors.** [`Ticket::wait`] returns
+//!   `Result<ValuationResponse, ValuationError>`; nothing in the service
+//!   panics the caller.
+//! - **Fault isolation.** If the inner utility panics under a flush
+//!   leader, the flush is *poisoned*: only the runs whose batches were
+//!   merged into it are affected, and each retries **its own batch**
+//!   directly against the still-healthy shared cache with capped
+//!   exponential backoff ([`RetryPolicy`]). Transient faults heal;
+//!   persistent ones surface as [`ValuationError::UtilityPanicked`] on
+//!   exactly the requests that touch the faulty coalitions.
+//! - **Deadlines and budgets.** A request may carry a wall-clock
+//!   deadline and/or an evaluation budget, enforced at batch boundaries.
+//!   On overrun the run degrades gracefully (default
+//!   [`LimitPolicy::Partial`]): it returns the values folded from the
+//!   evaluated prefix ([`partial_prefix_fold`]) with
+//!   [`RunStats::partial`] set, or fails with the typed error under
+//!   [`LimitPolicy::Fail`].
+//! - **Shutdown drains.** [`ValuationServer::shutdown`] stops in-flight
+//!   runs at their next batch boundary and resolves *every* outstanding
+//!   ticket with [`ValuationError::ServerShutdown`] — no ticket is ever
+//!   left hanging.
 //!
 //! # Memory
 //!
@@ -73,7 +102,10 @@
 //! .into_iter()
 //! .map(|req| server.submit(req))
 //! .collect();
-//! let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+//! let responses: Vec<_> = tickets
+//!     .into_iter()
+//!     .map(|t| t.wait().expect("healthy utility"))
+//!     .collect();
 //!
 //! // Results are bit-identical to solo execution...
 //! assert_eq!(responses[0].values, exact_mc_sv(&TableUtility::paper_table1()));
@@ -85,11 +117,12 @@
 //! assert!(stats.eval.lookups > 8, "overlap resolved from the cache");
 //! server.shutdown();
 //! ```
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -99,6 +132,7 @@ use rand::SeedableRng;
 use crate::banzhaf::banzhaf_pruned;
 use crate::coalition::Coalition;
 use crate::exact::{exact_cc_sv, exact_mc_sv};
+use crate::fault::quiet;
 use crate::ipss::{ipss_values, IpssConfig};
 use crate::loo::leave_one_out;
 use crate::owen::{owen_sampling, OwenConfig};
@@ -129,8 +163,107 @@ pub enum Estimator {
     Loo,
 }
 
+/// Why a valuation request failed — the error side of [`Ticket::wait`].
+///
+/// Every variant names a *request-scoped* failure: the server itself
+/// stays healthy and keeps serving other requests (the whole point of
+/// the fault-tolerance layer).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValuationError {
+    /// The utility panicked under every attempt to evaluate one of this
+    /// run's batches (the poisoned flush plus `attempts − 1` direct
+    /// retries). Other runs sharing the flush retried independently.
+    UtilityPanicked {
+        /// Evaluation attempts made for the failing batch.
+        attempts: usize,
+        /// Message of the last panic.
+        detail: String,
+    },
+    /// The estimator itself panicked outside a utility batch (e.g. an
+    /// infeasible budget failing a precondition).
+    EstimatorPanicked {
+        /// Message of the panic.
+        detail: String,
+    },
+    /// The request was malformed (empty or out-of-range client set).
+    InvalidRequest {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The run hit its wall-clock deadline at a batch boundary and the
+    /// request asked to fail ([`LimitPolicy::Fail`]) instead of
+    /// returning a partial prefix.
+    DeadlineExceeded {
+        /// The request's deadline.
+        deadline: Duration,
+        /// Elapsed wall-clock time when the boundary check fired.
+        elapsed: Duration,
+    },
+    /// The run's next batch would overrun its evaluation budget and the
+    /// request asked to fail ([`LimitPolicy::Fail`]).
+    BudgetExhausted {
+        /// Coalition evaluations already consumed.
+        consumed: usize,
+        /// The request's `max_evals`.
+        max_evals: usize,
+        /// Size of the batch that did not fit.
+        next_batch: usize,
+    },
+    /// The server shut down before (or while) serving this request. All
+    /// outstanding tickets resolve with this error on shutdown.
+    ServerShutdown,
+    /// The worker vanished without delivering a response — a service
+    /// bug, kept as a typed error so callers never block forever.
+    WorkerLost,
+}
+
+impl fmt::Display for ValuationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValuationError::UtilityPanicked { attempts, detail } => {
+                write!(f, "utility panicked in all {attempts} attempts: {detail}")
+            }
+            ValuationError::EstimatorPanicked { detail } => {
+                write!(f, "estimator panicked: {detail}")
+            }
+            ValuationError::InvalidRequest { detail } => write!(f, "invalid request: {detail}"),
+            ValuationError::DeadlineExceeded { deadline, elapsed } => write!(
+                f,
+                "deadline of {deadline:?} exceeded after {elapsed:?} (at a batch boundary)"
+            ),
+            ValuationError::BudgetExhausted {
+                consumed,
+                max_evals,
+                next_batch,
+            } => write!(
+                f,
+                "evaluation budget exhausted: {consumed} consumed of {max_evals}, \
+                 next batch needs {next_batch}"
+            ),
+            ValuationError::ServerShutdown => write!(f, "server shut down"),
+            ValuationError::WorkerLost => {
+                write!(f, "valuation worker terminated without a response")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValuationError {}
+
+/// What a run does when it hits its deadline or evaluation budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LimitPolicy {
+    /// Degrade gracefully: return [`partial_prefix_fold`] over the
+    /// evaluated prefix, with [`RunStats::partial`] set. Default.
+    #[default]
+    Partial,
+    /// Fail the request with [`ValuationError::DeadlineExceeded`] /
+    /// [`ValuationError::BudgetExhausted`].
+    Fail,
+}
+
 /// One valuation query: *which estimator*, over *which clients*, with
-/// *what budget and seed*.
+/// *what budget and seed* — plus optional per-request limits.
 #[derive(Clone, Debug)]
 pub struct ValuationRequest {
     /// The estimator to run.
@@ -147,22 +280,54 @@ pub struct ValuationRequest {
     /// Seed of the run's RNG stream — results are a pure function of
     /// `(estimator, clients, budget, seed)` and the utility.
     pub seed: u64,
+    /// Wall-clock deadline, measured from worker start and enforced at
+    /// batch boundaries (`None` = unbounded). A batch in flight when the
+    /// deadline passes still completes; the *next* boundary fires.
+    pub deadline: Option<Duration>,
+    /// Hard cap on coalition evaluations this run may consume, enforced
+    /// *before* each batch (`None` = unbounded). Distinct from `budget`:
+    /// `budget` shapes what the estimator samples, `max_evals` cuts the
+    /// run off mid-schedule.
+    pub max_evals: Option<usize>,
+    /// What to do when `deadline` or `max_evals` fires.
+    pub on_limit: LimitPolicy,
 }
 
 impl ValuationRequest {
-    /// A request over all clients.
+    /// A request over all clients, with no deadline or evaluation cap.
     pub fn new(estimator: Estimator, budget: usize, seed: u64) -> Self {
         ValuationRequest {
             estimator,
             clients: None,
             budget,
             seed,
+            deadline: None,
+            max_evals: None,
+            on_limit: LimitPolicy::default(),
         }
     }
 
     /// Restrict the valuation to a client subset (the sub-game on `s`).
     pub fn for_clients(mut self, s: Coalition) -> Self {
         self.clients = Some(s);
+        self
+    }
+
+    /// Set a wall-clock deadline, enforced at batch boundaries.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Cap the coalition evaluations the run may consume.
+    pub fn with_max_evals(mut self, max_evals: usize) -> Self {
+        self.max_evals = Some(max_evals);
+        self
+    }
+
+    /// Choose the limit behaviour (default: [`LimitPolicy::Partial`]).
+    pub fn on_limit(mut self, policy: LimitPolicy) -> Self {
+        self.on_limit = policy;
         self
     }
 }
@@ -179,21 +344,36 @@ pub struct RunStats {
     /// Batches that were flushed together with at least one other run's
     /// batch — the run's share of actual cross-run coalescing.
     pub coalesced_batches: usize,
+    /// The run hit its deadline or evaluation cap and the response holds
+    /// the partial-prefix fold instead of the estimator's full output.
+    pub partial: bool,
+    /// Direct retries this run performed after poisoned flushes.
+    pub retries: usize,
+    /// Longest time one of this run's batches spent at the coalescer
+    /// (parking through result delivery, including the flush itself) —
+    /// the latency a [`FlushWindow`] bounds.
+    pub park_wait_max: Duration,
 }
 
 /// Cumulative service-wide statistics ([`ValuationServer::stats`], also
 /// snapshotted into every response).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServiceStats {
-    /// Requests completed since the server started.
+    /// Requests completed since the server started (successfully or not).
     pub requests: usize,
-    /// Coalescer flushes performed.
+    /// Coalescer flushes attempted (including poisoned ones).
     pub flushes: usize,
     /// Parked batches merged across all flushes (`> flushes` ⇔ cross-run
     /// coalescing happened).
     pub merged_batches: usize,
-    /// Distinct coalitions forwarded to the shared cache across all
-    /// flushes (after merge-level dedup).
+    /// Flushes whose inner evaluation panicked; the affected runs
+    /// retried their own batches directly.
+    pub failed_flushes: usize,
+    /// Direct per-run retry attempts after poisoned flushes.
+    pub retries: usize,
+    /// Distinct coalitions delivered through *successful* flushes (after
+    /// merge-level dedup; retry traffic bypasses the coalescer and is
+    /// visible in `eval.lookups` instead).
     pub distinct_coalitions: usize,
     /// The shared coalition cache's accounting: `evaluations` is the
     /// total number of models actually trained on behalf of *all* runs.
@@ -213,7 +393,9 @@ pub struct ValuationResponse {
     /// Global client indices valued, ascending (all clients, or the
     /// members of `request.clients`).
     pub clients: Vec<usize>,
-    /// Estimated values, positionally aligned with `clients`.
+    /// Estimated values, positionally aligned with `clients`. When
+    /// [`RunStats::partial`] is set, these are the [`partial_prefix_fold`]
+    /// of the batches evaluated before the limit fired.
     pub values: Vec<f64>,
     /// Wall-clock time from worker start to estimator completion.
     pub wall_time: Duration,
@@ -225,20 +407,133 @@ pub struct ValuationResponse {
 
 /// A pending response ([`ValuationServer::submit`]).
 pub struct Ticket {
-    rx: mpsc::Receiver<ValuationResponse>,
+    rx: mpsc::Receiver<Result<ValuationResponse, ValuationError>>,
 }
 
 impl Ticket {
-    /// Block until the response arrives.
-    ///
-    /// # Panics
-    /// If the worker died without responding (the estimator panicked —
-    /// e.g. an infeasible budget).
-    pub fn wait(self) -> ValuationResponse {
-        self.rx
-            .recv()
-            .expect("valuation worker terminated without a response (estimator panicked?)")
+    /// Block until the request resolves — with its response, or with the
+    /// typed error describing why it could not be served.
+    pub fn wait(self) -> Result<ValuationResponse, ValuationError> {
+        self.rx.recv().unwrap_or(Err(ValuationError::WorkerLost))
     }
+
+    /// Poll for up to `timeout`: `None` while the request is still in
+    /// flight, `Some(result)` once it resolved. The ticket stays usable
+    /// after a `None`, so callers can poll in a loop or interleave other
+    /// work without blocking forever.
+    pub fn wait_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Option<Result<ValuationResponse, ValuationError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ValuationError::WorkerLost)),
+        }
+    }
+}
+
+/// Early flush triggers bounding how long a parked batch can wait on the
+/// all-eligible-runs barrier ([`ServerBuilder::flush_window`],
+/// [`ServerBuilder::flush_after_parked`]). Either trigger trades some
+/// cross-run coalescing for a latency bound; neither can change a value
+/// (every value is a pure function of its coalition mask).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushWindow {
+    /// Flush once the oldest parked batch has waited this long, even if
+    /// not every eligible run has parked (`None` = barrier only).
+    pub max_wait: Option<Duration>,
+    /// Flush as soon as this many batches are parked (`None` = barrier
+    /// only; `Some(1)` disables cross-run batching entirely).
+    pub max_parked: Option<usize>,
+}
+
+/// Backoff schedule for direct retries after a poisoned flush.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Direct retries after the initial (flushed) attempt fails.
+    pub max_retries: usize,
+    /// Sleep before the first retry; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Cap on the per-attempt backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (1-based): `base · 2^(attempt−1)`,
+    /// capped.
+    fn backoff(&self, attempt: usize) -> Duration {
+        let factor = 1u32 << (attempt - 1).min(16);
+        self.backoff_base
+            .checked_mul(factor)
+            .unwrap_or(self.backoff_cap)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Fold partial Shapley estimates from an evaluated prefix.
+///
+/// This is the graceful-degradation estimator behind
+/// [`LimitPolicy::Partial`]: given the `(coalition, value)` pairs a run
+/// evaluated before its deadline/budget fired (in evaluation order), it
+/// computes, for every stratum, the mean marginal contribution over the
+/// pairs `(T, T∖{i})` whose *both* members were evaluated, and averages
+/// the per-stratum means — the same stratified-mean fold IPSS uses for
+/// its partially-sampled stratum, applied uniformly to whatever prefix
+/// exists. Clients without a single evaluated pair get `0.0`.
+///
+/// The fold is a pure function of the prefix: re-running the same
+/// request without limits and truncating its evaluation log after the
+/// same number of batches reproduces the partial values **bit-identically**
+/// (the test suite asserts this).
+pub fn partial_prefix_fold(n: usize, evaluated: &[(Coalition, f64)]) -> Vec<f64> {
+    let mut memo: HashMap<u128, f64> = HashMap::with_capacity(evaluated.len());
+    let mut order: Vec<Coalition> = Vec::with_capacity(evaluated.len());
+    for &(s, v) in evaluated {
+        if let std::collections::hash_map::Entry::Vacant(e) = memo.entry(s.0) {
+            e.insert(v);
+            order.push(s);
+        }
+    }
+    // Per-(stratum, client) accumulators; deterministic accumulation in
+    // first-evaluation order keeps the fold bit-stable.
+    let mut sums = vec![vec![0.0f64; n]; n];
+    let mut counts = vec![vec![0usize; n]; n];
+    for &t in &order {
+        let t_size = t.size();
+        if t_size == 0 {
+            continue;
+        }
+        let ut = memo[&t.0];
+        for i in t.members() {
+            if let Some(&us) = memo.get(&t.without(i).0) {
+                sums[t_size - 1][i] += ut - us;
+                counts[t_size - 1][i] += 1;
+            }
+        }
+    }
+    let inv_n = 1.0 / n as f64;
+    (0..n)
+        .map(|i| {
+            let mut phi = 0.0f64;
+            for stratum in 0..n {
+                if counts[stratum][i] > 0 {
+                    phi += sums[stratum][i] / counts[stratum][i] as f64;
+                }
+            }
+            phi * inv_n
+        })
+        .collect()
 }
 
 /// Outcome of one flush, delivered to each parked batch.
@@ -249,14 +544,26 @@ struct FlushOutcome {
     merged_batches: usize,
 }
 
+/// Why a parked batch came back without values.
+enum FlushFailure {
+    /// The flush leader's evaluation panicked; the message is the panic
+    /// payload. The caller retries its own batch directly.
+    Poisoned(String),
+    /// The server shut down while the batch was parked.
+    Shutdown,
+}
+
 /// A batch parked at the coalescer, waiting for a flush.
 struct ParkedEntry {
     coalitions: Vec<Coalition>,
-    /// `None` while pending; filled by the flush leader. `Err(())` marks
-    /// a poisoned flush (the inner utility panicked under the leader).
-    outcome: Option<Result<FlushOutcome, ()>>,
+    /// `None` while pending; filled by the flush leader. `Err` carries
+    /// the panic message of a poisoned flush.
+    outcome: Option<Result<FlushOutcome, String>>,
     /// Taken by a leader (in flight) — no longer counted as parked.
     taken: bool,
+    /// When the batch parked — drives the [`FlushWindow`] `max_wait`
+    /// trigger.
+    parked_at: Instant,
 }
 
 /// Coalescer state, guarded by one mutex (the condvar lives beside it).
@@ -272,40 +579,57 @@ struct CoState {
     entries: HashMap<u64, ParkedEntry>,
     flushes: usize,
     merged_batches: usize,
+    failed_flushes: usize,
     distinct_coalitions: usize,
 }
 
-/// Everything the workers share: the cached utility, the coalescer and
-/// the service counters.
+/// Everything the workers share: the cached utility, the coalescer, the
+/// failure-handling configuration and the service counters.
 struct Shared<U: Utility + Send + Sync> {
     cached: CachedUtility<U>,
     state: Mutex<CoState>,
     cv: Condvar,
+    window: FlushWindow,
+    retry: RetryPolicy,
+    shutdown: AtomicBool,
     requests_done: AtomicU64,
+    retries: AtomicU64,
     traj_stats: Option<Box<dyn Fn() -> TrajCacheStats + Send + Sync>>,
 }
 
 impl<U: Utility + Send + Sync> Shared<U> {
+    /// Lock the coalescer state, recovering from poison: the service
+    /// never panics while holding this lock on purpose, but a poisoned
+    /// guard must degrade to the typed error path, not to more panics.
+    fn lock_state(&self) -> MutexGuard<'_, CoState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
     /// Register a run (performed by the dispatcher *before* the worker
     /// spawns, so a burst of submissions coalesces from its first batch).
     fn register(&self) {
-        self.state.lock().unwrap().eligible += 1;
+        self.lock_state().eligible += 1;
     }
 
     /// Deregister a finished run and wake parked waiters — the barrier
     /// may have become satisfiable.
     fn unregister(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         st.eligible -= 1;
         drop(st);
         self.cv.notify_all();
     }
 
     /// Park `coalitions` and wait for a flush to deliver their values.
-    /// The caller that completes the barrier (`parked == eligible`)
+    /// A caller that observes a satisfied trigger — the barrier
+    /// (`parked == eligible`), or either [`FlushWindow`] condition —
     /// becomes the leader and evaluates the merged batch itself.
-    fn eval_coalesced(&self, coalitions: &[Coalition]) -> FlushOutcome {
-        let mut st = self.state.lock().unwrap();
+    fn eval_coalesced(&self, coalitions: &[Coalition]) -> Result<FlushOutcome, FlushFailure> {
+        let mut st = self.lock_state();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.entries.insert(
@@ -314,33 +638,67 @@ impl<U: Utility + Send + Sync> Shared<U> {
                 coalitions: coalitions.to_vec(),
                 outcome: None,
                 taken: false,
+                parked_at: Instant::now(),
             },
         );
         st.parked += 1;
         loop {
-            if st.entries[&ticket].outcome.is_some() {
-                let entry = st.entries.remove(&ticket).expect("own ticket");
-                return entry
-                    .outcome
-                    .expect("checked above")
-                    .unwrap_or_else(|()| panic!("service flush failed: inner utility panicked"));
+            if st.entries.get(&ticket).is_some_and(|e| e.outcome.is_some()) {
+                let Some(entry) = st.entries.remove(&ticket) else {
+                    unreachable!("own ticket resident until removed here")
+                };
+                let Some(outcome) = entry.outcome else {
+                    unreachable!("outcome presence checked above")
+                };
+                return outcome.map_err(FlushFailure::Poisoned);
             }
-            if st.parked > 0 && st.parked == st.eligible {
+            if self.is_shutdown() {
+                // Withdraw the batch unless a leader already owns it (in
+                // which case the leader will deliver an outcome shortly).
+                if st.entries.get(&ticket).is_some_and(|e| !e.taken) {
+                    st.entries.remove(&ticket);
+                    st.parked -= 1;
+                    drop(st);
+                    self.cv.notify_all();
+                    return Err(FlushFailure::Shutdown);
+                }
+            }
+            let barrier = st.parked > 0 && st.parked == st.eligible;
+            let count_trigger = self.window.max_parked.is_some_and(|k| st.parked >= k);
+            let wait_deadline = self.window.max_wait.and_then(|w| {
+                st.entries
+                    .values()
+                    .filter(|e| !e.taken)
+                    .map(|e| e.parked_at)
+                    .min()
+                    .map(|oldest| oldest + w)
+            });
+            let window_trigger = wait_deadline.is_some_and(|d| Instant::now() >= d);
+            if barrier || count_trigger || window_trigger {
                 st = self.flush(st);
                 continue; // own outcome is now set (or poisoned)
             }
-            st = self.cv.wait(st).unwrap();
+            st = match wait_deadline {
+                Some(deadline) => {
+                    let timeout = deadline.saturating_duration_since(Instant::now());
+                    self.cv
+                        .wait_timeout(st, timeout)
+                        .map(|(guard, _timed_out)| guard)
+                        .unwrap_or_else(|e| e.into_inner().0)
+                }
+                None => self.cv.wait(st).unwrap_or_else(PoisonError::into_inner),
+            };
         }
     }
 
     /// Flush every parked batch as the leader: merge, dedup, sort,
     /// evaluate through the shared cache, scatter results, wake waiters.
     /// Takes and returns the state guard (the evaluation itself runs
-    /// unlocked, so a new wave of runs can park meanwhile).
-    fn flush<'a>(
-        &'a self,
-        mut st: std::sync::MutexGuard<'a, CoState>,
-    ) -> std::sync::MutexGuard<'a, CoState> {
+    /// unlocked, so a new wave of runs can park meanwhile). A panicking
+    /// inner utility is caught here: the taken entries are poisoned with
+    /// the panic message and their owners retry independently — the
+    /// coalescer itself stays healthy.
+    fn flush<'a>(&'a self, mut st: MutexGuard<'a, CoState>) -> MutexGuard<'a, CoState> {
         let taken: Vec<u64> = st
             .entries
             .iter_mut()
@@ -351,6 +709,9 @@ impl<U: Utility + Send + Sync> Shared<U> {
             })
             .collect();
         let batch_count = taken.len();
+        if batch_count == 0 {
+            return st;
+        }
         st.parked -= batch_count;
         st.eligible -= batch_count;
         st.flushes += 1;
@@ -368,63 +729,60 @@ impl<U: Utility + Send + Sync> Shared<U> {
             }
         }
         merged.sort_by_key(|s| (s.size(), s.0));
-        st.distinct_coalitions += merged.len();
         drop(st);
 
-        // Evaluate unlocked; on panic the guard poisons the taken entries
-        // so their waiters fail loudly instead of hanging.
-        struct PoisonGuard<'g, V: Utility + Send + Sync> {
-            shared: &'g Shared<V>,
-            taken: Vec<u64>,
-            batch_count: usize,
-            armed: bool,
-        }
-        impl<V: Utility + Send + Sync> Drop for PoisonGuard<'_, V> {
-            fn drop(&mut self) {
-                if !self.armed {
-                    return;
+        // Evaluate unlocked, catching panics: a poisoned flush fails only
+        // the runs whose batches it merged.
+        match quiet::catch_quiet(|| self.cached.eval_batch(&merged)) {
+            Ok(values) => {
+                let by_mask: HashMap<u128, f64> = merged.iter().map(|s| s.0).zip(values).collect();
+                let mut st = self.lock_state();
+                st.distinct_coalitions += merged.len();
+                for id in &taken {
+                    let Some(entry) = st.entries.get_mut(id) else {
+                        unreachable!("taken entries stay resident until their owner consumes them")
+                    };
+                    entry.outcome = Some(Ok(FlushOutcome {
+                        values: entry
+                            .coalitions
+                            .iter()
+                            .map(|s| {
+                                by_mask.get(&s.0).copied().unwrap_or_else(|| {
+                                    unreachable!("merged batch covers every taken coalition")
+                                })
+                            })
+                            .collect(),
+                        merged_batches: batch_count,
+                    }));
                 }
-                let mut st = self.shared.state.lock().unwrap();
-                for id in &self.taken {
-                    if let Some(e) = st.entries.get_mut(id) {
-                        e.outcome = Some(Err(()));
+                st.eligible += batch_count;
+                drop(st);
+            }
+            Err(payload) => {
+                let detail = quiet::panic_message(payload.as_ref());
+                let mut st = self.lock_state();
+                st.failed_flushes += 1;
+                for id in &taken {
+                    if let Some(entry) = st.entries.get_mut(id) {
+                        entry.outcome = Some(Err(detail.clone()));
                     }
                 }
-                st.eligible += self.batch_count;
+                st.eligible += batch_count;
                 drop(st);
-                self.shared.cv.notify_all();
             }
         }
-        let mut guard = PoisonGuard {
-            shared: self,
-            taken,
-            batch_count,
-            armed: true,
-        };
-        let values = self.cached.eval_batch(&merged);
-        guard.armed = false;
-        let by_mask: HashMap<u128, f64> = merged.iter().map(|s| s.0).zip(values).collect();
-
-        let mut st = self.state.lock().unwrap();
-        for id in &guard.taken {
-            let entry = st.entries.get_mut(id).expect("taken entry resident");
-            entry.outcome = Some(Ok(FlushOutcome {
-                values: entry.coalitions.iter().map(|s| by_mask[&s.0]).collect(),
-                merged_batches: batch_count,
-            }));
-        }
-        st.eligible += batch_count;
-        drop(st);
         self.cv.notify_all();
-        self.state.lock().unwrap()
+        self.lock_state()
     }
 
     fn stats(&self) -> ServiceStats {
-        let st = self.state.lock().unwrap();
+        let st = self.lock_state();
         ServiceStats {
             requests: self.requests_done.load(Ordering::Relaxed) as usize,
             flushes: st.flushes,
             merged_batches: st.merged_batches,
+            failed_flushes: st.failed_flushes,
+            retries: self.retries.load(Ordering::Relaxed) as usize,
             distinct_coalitions: st.distinct_coalitions,
             eval: self.cached.stats(),
             traj: self.traj_stats.as_ref().map(|f| f()),
@@ -442,18 +800,49 @@ impl<U: Utility + Send + Sync> Drop for RunGuard<U> {
     }
 }
 
+/// Internal abort marker unwound out of an estimator at a batch
+/// boundary; `serve_one` catches it and turns it into the partial
+/// response or the typed error.
+enum ServiceAbort {
+    Deadline {
+        deadline: Duration,
+        elapsed: Duration,
+    },
+    Budget {
+        consumed: usize,
+        max_evals: usize,
+        next_batch: usize,
+    },
+    Fault(ValuationError),
+}
+
+fn abort(reason: ServiceAbort) -> ! {
+    quiet::silent_panic_any(reason)
+}
+
 /// The run-local [`Utility`] facade an estimator evaluates against:
-/// translates sub-game coalitions to global masks, parks batches at the
-/// coalescer and tracks per-run statistics.
+/// translates sub-game coalitions to global masks, enforces the
+/// request's limits at batch boundaries, parks batches at the coalescer
+/// (retrying directly after poisoned flushes) and tracks per-run
+/// statistics.
 struct RunUtility<U: Utility + Send + Sync> {
     shared: Arc<Shared<U>>,
     /// Global client indices of the run's sub-game, ascending.
     members: Vec<usize>,
     /// Fast path: the run spans all clients (masks pass through).
     identity: bool,
+    started: Instant,
+    deadline: Option<Duration>,
+    max_evals: Option<usize>,
+    /// Record `(local coalition, value)` pairs for [`partial_prefix_fold`]
+    /// (only when the request carries a limit under `Partial` policy).
+    record: bool,
+    log: Mutex<Vec<(Coalition, f64)>>,
     batches: AtomicU64,
     coalitions: AtomicU64,
     coalesced: AtomicU64,
+    retries: AtomicU64,
+    park_wait_max_ns: AtomicU64,
 }
 
 impl<U: Utility + Send + Sync> RunUtility<U> {
@@ -464,12 +853,63 @@ impl<U: Utility + Send + Sync> RunUtility<U> {
         Coalition::from_members(s.members().map(|j| self.members[j]))
     }
 
-    fn run_stats(&self) -> RunStats {
+    fn run_stats(&self, partial: bool) -> RunStats {
         RunStats {
             batches: self.batches.load(Ordering::Relaxed) as usize,
             coalitions: self.coalitions.load(Ordering::Relaxed) as usize,
             coalesced_batches: self.coalesced.load(Ordering::Relaxed) as usize,
+            partial,
+            retries: self.retries.load(Ordering::Relaxed) as usize,
+            park_wait_max: Duration::from_nanos(self.park_wait_max_ns.load(Ordering::Relaxed)),
         }
+    }
+
+    /// Batch-boundary checkpoint: shutdown, deadline, then budget. Fires
+    /// *before* the batch is parked, so an aborted batch consumed nothing.
+    fn checkpoint(&self, next_batch: usize) {
+        if self.shared.is_shutdown() {
+            abort(ServiceAbort::Fault(ValuationError::ServerShutdown));
+        }
+        if let Some(deadline) = self.deadline {
+            let elapsed = self.started.elapsed();
+            if elapsed >= deadline {
+                abort(ServiceAbort::Deadline { deadline, elapsed });
+            }
+        }
+        if let Some(max_evals) = self.max_evals {
+            let consumed = self.coalitions.load(Ordering::Relaxed) as usize;
+            if consumed + next_batch > max_evals {
+                abort(ServiceAbort::Budget {
+                    consumed,
+                    max_evals,
+                    next_batch,
+                });
+            }
+        }
+    }
+
+    /// Direct retries after a poisoned flush: the run's own batch, against
+    /// the still-healthy shared cache, with capped exponential backoff.
+    /// Bypassing the coalescer isolates the failure — peers whose batches
+    /// are healthy retry successfully in parallel.
+    fn retry_direct(&self, global: &[Coalition], mut detail: String) -> Vec<f64> {
+        let policy = self.shared.retry;
+        for attempt in 1..=policy.max_retries {
+            thread::sleep(policy.backoff(attempt));
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            self.shared.retries.fetch_add(1, Ordering::Relaxed);
+            if self.shared.is_shutdown() {
+                abort(ServiceAbort::Fault(ValuationError::ServerShutdown));
+            }
+            match quiet::catch_quiet(|| self.shared.cached.eval_batch(global)) {
+                Ok(values) => return values,
+                Err(payload) => detail = quiet::panic_message(payload.as_ref()),
+            }
+        }
+        abort(ServiceAbort::Fault(ValuationError::UtilityPanicked {
+            attempts: policy.max_retries + 1,
+            detail,
+        }));
     }
 }
 
@@ -479,22 +919,40 @@ impl<U: Utility + Send + Sync> Utility for RunUtility<U> {
     }
 
     fn eval(&self, s: Coalition) -> f64 {
-        self.eval_batch(&[s])[0]
+        self.eval_batch(std::slice::from_ref(&s))[0]
     }
 
     fn eval_batch(&self, coalitions: &[Coalition]) -> Vec<f64> {
         if coalitions.is_empty() {
             return Vec::new();
         }
+        self.checkpoint(coalitions.len());
         let global: Vec<Coalition> = coalitions.iter().map(|&s| self.to_global(s)).collect();
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.coalitions
             .fetch_add(coalitions.len() as u64, Ordering::Relaxed);
-        let outcome = self.shared.eval_coalesced(&global);
-        if outcome.merged_batches > 1 {
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        let parked_at = Instant::now();
+        let values = match self.shared.eval_coalesced(&global) {
+            Ok(outcome) => {
+                if outcome.merged_batches > 1 {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+                outcome.values
+            }
+            Err(FlushFailure::Shutdown) => {
+                abort(ServiceAbort::Fault(ValuationError::ServerShutdown))
+            }
+            Err(FlushFailure::Poisoned(detail)) => self.retry_direct(&global, detail),
+        };
+        self.park_wait_max_ns
+            .fetch_max(parked_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if self.record {
+            self.log
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend(coalitions.iter().copied().zip(values.iter().copied()));
         }
-        outcome.values
+        values
     }
 }
 
@@ -538,14 +996,17 @@ fn dispatch<V: Utility + Send + Sync>(req: &ValuationRequest, u: &RunUtility<V>)
     }
 }
 
-type Job = (ValuationRequest, mpsc::Sender<ValuationResponse>);
+type Reply = mpsc::Sender<Result<ValuationResponse, ValuationError>>;
+type Job = (ValuationRequest, Reply);
 
 /// The long-lived multi-valuation server — see the [module docs](self)
-/// for the coalescing design. Construct with [`ValuationServer::start`]
-/// (or [`ValuationServer::builder`] to attach a trajectory-cache stats
-/// source), submit requests with [`ValuationServer::submit`] /
+/// for the coalescing design and failure model. Construct with
+/// [`ValuationServer::start`] (or [`ValuationServer::builder`] to attach
+/// a trajectory-cache stats source, a [`FlushWindow`] or a
+/// [`RetryPolicy`]), submit requests with [`ValuationServer::submit`] /
 /// [`ValuationServer::call`], and stop with [`ValuationServer::shutdown`]
-/// (dropping the server also shuts it down).
+/// (dropping the server also shuts it down, draining in-flight tickets
+/// with [`ValuationError::ServerShutdown`]).
 pub struct ValuationServer<U: Utility + Send + Sync + 'static> {
     shared: Arc<Shared<U>>,
     tx: Option<mpsc::Sender<Job>>,
@@ -555,6 +1016,8 @@ pub struct ValuationServer<U: Utility + Send + Sync + 'static> {
 /// Configures and starts a [`ValuationServer`].
 pub struct ServerBuilder<U: Utility + Send + Sync + 'static> {
     utility: U,
+    window: FlushWindow,
+    retry: RetryPolicy,
     traj_stats: Option<Box<dyn Fn() -> TrajCacheStats + Send + Sync>>,
 }
 
@@ -570,13 +1033,37 @@ impl<U: Utility + Send + Sync + 'static> ServerBuilder<U> {
         self
     }
 
+    /// Bound the time a parked batch waits on the barrier: flush once the
+    /// oldest parked batch is `max_wait` old (see [`FlushWindow`]).
+    pub fn flush_window(mut self, max_wait: Duration) -> Self {
+        self.window.max_wait = Some(max_wait);
+        self
+    }
+
+    /// Flush as soon as `max_parked` batches are parked (see
+    /// [`FlushWindow`]).
+    pub fn flush_after_parked(mut self, max_parked: usize) -> Self {
+        self.window.max_parked = Some(max_parked);
+        self
+    }
+
+    /// Override the retry/backoff schedule for poisoned flushes.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Spawn the dispatcher and return the running server.
     pub fn start(self) -> ValuationServer<U> {
         let shared = Arc::new(Shared {
             cached: CachedUtility::new(self.utility),
             state: Mutex::new(CoState::default()),
             cv: Condvar::new(),
+            window: self.window,
+            retry: self.retry,
+            shutdown: AtomicBool::new(false),
             requests_done: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             traj_stats: self.traj_stats,
         });
         let (tx, rx) = mpsc::channel::<Job>();
@@ -595,6 +1082,8 @@ impl<U: Utility + Send + Sync + 'static> ServerBuilder<U> {
 /// Receive jobs, register each run, spawn its worker. A burst of pending
 /// submissions is drained and *registered together* before any worker
 /// spawns, so concurrent requests coalesce from their very first batch.
+/// After shutdown, still-queued jobs are drained with the typed error
+/// instead of spawning workers.
 fn dispatcher_loop<U: Utility + Send + Sync + 'static>(
     shared: Arc<Shared<U>>,
     rx: mpsc::Receiver<Job>,
@@ -604,6 +1093,12 @@ fn dispatcher_loop<U: Utility + Send + Sync + 'static>(
         let mut burst = vec![first];
         while let Ok(job) = rx.try_recv() {
             burst.push(job);
+        }
+        if shared.is_shutdown() {
+            for (_request, reply) in burst {
+                let _ = reply.send(Err(ValuationError::ServerShutdown));
+            }
+            continue;
         }
         let guards: Vec<RunGuard<U>> = burst
             .iter()
@@ -625,50 +1120,99 @@ fn dispatcher_loop<U: Utility + Send + Sync + 'static>(
     }
 }
 
-/// One worker: run the estimator, assemble the response, deliver it.
+/// One worker: run the estimator under a quiet `catch_unwind`, convert
+/// any abort or panic into the partial response or the typed error, and
+/// deliver the result. Every code path sends exactly one reply.
 fn serve_one<U: Utility + Send + Sync>(
     shared: Arc<Shared<U>>,
     request: ValuationRequest,
-    reply: mpsc::Sender<ValuationResponse>,
+    reply: Reply,
     guard: RunGuard<U>,
 ) {
     let start = Instant::now();
     let n = shared.cached.n_clients();
     let members: Vec<usize> = match request.clients {
-        Some(s) => {
-            assert!(
-                s.is_subset_of(Coalition::full(n)),
-                "request.clients exceeds the utility's {n} clients"
-            );
-            assert!(
-                !s.is_empty(),
-                "request.clients must name at least one client"
-            );
-            s.members().collect()
+        Some(s) if !s.is_subset_of(Coalition::full(n)) => {
+            drop(guard);
+            let _ = reply.send(Err(ValuationError::InvalidRequest {
+                detail: format!("request.clients exceeds the utility's {n} clients"),
+            }));
+            return;
         }
+        Some(s) if s.is_empty() => {
+            drop(guard);
+            let _ = reply.send(Err(ValuationError::InvalidRequest {
+                detail: "request.clients must name at least one client".to_string(),
+            }));
+            return;
+        }
+        Some(s) => s.members().collect(),
         None => (0..n).collect(),
     };
+    let record = request.on_limit == LimitPolicy::Partial
+        && (request.deadline.is_some() || request.max_evals.is_some());
     let run = RunUtility {
         shared: Arc::clone(&shared),
         identity: members.len() == n,
         members,
+        started: start,
+        deadline: request.deadline,
+        max_evals: request.max_evals,
+        record,
+        log: Mutex::new(Vec::new()),
         batches: AtomicU64::new(0),
         coalitions: AtomicU64::new(0),
         coalesced: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        park_wait_max_ns: AtomicU64::new(0),
     };
-    let values = dispatch(&request, &run);
+    let outcome = quiet::catch_quiet(|| dispatch(&request, &run));
     let wall_time = start.elapsed();
     drop(guard); // deregister before snapshotting stats
     shared.requests_done.fetch_add(1, Ordering::Relaxed);
-    let response = ValuationResponse {
+
+    let respond = |values: Vec<f64>, partial: bool| ValuationResponse {
         clients: run.members.clone(),
         values,
         wall_time,
-        run: run.run_stats(),
+        run: run.run_stats(partial),
         service: shared.stats(),
-        request,
+        request: request.clone(),
     };
-    let _ = reply.send(response); // submitter may have dropped the ticket
+    let result = match outcome {
+        Ok(values) => Ok(respond(values, false)),
+        Err(payload) => match payload.downcast::<ServiceAbort>() {
+            Ok(reason) => match (*reason, request.on_limit) {
+                (ServiceAbort::Fault(e), _) => Err(e),
+                (
+                    ServiceAbort::Deadline { .. } | ServiceAbort::Budget { .. },
+                    LimitPolicy::Partial,
+                ) => {
+                    let log = run.log.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(respond(partial_prefix_fold(run.members.len(), &log), true))
+                }
+                (ServiceAbort::Deadline { deadline, elapsed }, LimitPolicy::Fail) => {
+                    Err(ValuationError::DeadlineExceeded { deadline, elapsed })
+                }
+                (
+                    ServiceAbort::Budget {
+                        consumed,
+                        max_evals,
+                        next_batch,
+                    },
+                    LimitPolicy::Fail,
+                ) => Err(ValuationError::BudgetExhausted {
+                    consumed,
+                    max_evals,
+                    next_batch,
+                }),
+            },
+            Err(payload) => Err(ValuationError::EstimatorPanicked {
+                detail: quiet::panic_message(payload.as_ref()),
+            }),
+        },
+    };
+    let _ = reply.send(result); // submitter may have dropped the ticket
 }
 
 impl<U: Utility + Send + Sync + 'static> ValuationServer<U> {
@@ -679,29 +1223,36 @@ impl<U: Utility + Send + Sync + 'static> ValuationServer<U> {
         Self::builder(utility).start()
     }
 
-    /// Configure before starting (e.g. attach a trajectory-cache stats
-    /// source).
+    /// Configure before starting (flush window, retry policy,
+    /// trajectory-cache stats source).
     pub fn builder(utility: U) -> ServerBuilder<U> {
         ServerBuilder {
             utility,
+            window: FlushWindow::default(),
+            retry: RetryPolicy::default(),
             traj_stats: None,
         }
     }
 
     /// Enqueue a request; returns a [`Ticket`] to wait on. Submission
-    /// never blocks on the valuation itself.
+    /// never blocks on the valuation itself. Submitting to a server that
+    /// has shut down yields a ticket pre-resolved with
+    /// [`ValuationError::ServerShutdown`].
     pub fn submit(&self, request: ValuationRequest) -> Ticket {
         let (tx, rx) = mpsc::channel();
-        self.tx
+        let delivered = self
+            .tx
             .as_ref()
-            .expect("server running")
-            .send((request, tx))
-            .expect("dispatcher alive");
+            .map(|jobs| jobs.send((request, tx.clone())).is_ok())
+            .unwrap_or(false);
+        if !delivered {
+            let _ = tx.send(Err(ValuationError::ServerShutdown));
+        }
         Ticket { rx }
     }
 
     /// Submit and wait — the blocking single-request convenience.
-    pub fn call(&self, request: ValuationRequest) -> ValuationResponse {
+    pub fn call(&self, request: ValuationRequest) -> Result<ValuationResponse, ValuationError> {
         self.submit(request).wait()
     }
 
@@ -710,13 +1261,17 @@ impl<U: Utility + Send + Sync + 'static> ValuationServer<U> {
         self.shared.stats()
     }
 
-    /// Stop accepting requests, finish everything in flight, join all
-    /// worker threads.
+    /// Stop the server: in-flight runs abort at their next batch
+    /// boundary, every outstanding ticket resolves with
+    /// [`ValuationError::ServerShutdown`], and all worker threads are
+    /// joined before this returns.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
 
     fn shutdown_in_place(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
         drop(self.tx.take());
         if let Some(d) = self.dispatcher.take() {
             let _ = d.join();
@@ -735,10 +1290,19 @@ mod tests {
     use super::*;
     use crate::utility::{HashUtility, TableUtility};
 
+    /// Unwrap a service result in tests (plain `panic!` keeps the module
+    /// clean under `deny(clippy::unwrap_used, clippy::expect_used)`).
+    fn ok(result: Result<ValuationResponse, ValuationError>) -> ValuationResponse {
+        match result {
+            Ok(resp) => resp,
+            Err(e) => panic!("request failed: {e}"),
+        }
+    }
+
     #[test]
     fn single_request_matches_direct_execution() {
         let server = ValuationServer::start(TableUtility::paper_table1());
-        let resp = server.call(ValuationRequest::new(Estimator::ExactMc, 0, 0));
+        let resp = ok(server.call(ValuationRequest::new(Estimator::ExactMc, 0, 0)));
         assert_eq!(resp.values, exact_mc_sv(&TableUtility::paper_table1()));
         assert_eq!(resp.clients, vec![0, 1, 2]);
         assert_eq!(resp.service.eval.evaluations, 8);
@@ -747,6 +1311,8 @@ mod tests {
             resp.run.coalesced_batches, 0,
             "a lone run coalesces with no one"
         );
+        assert!(!resp.run.partial);
+        assert_eq!(resp.run.retries, 0);
         server.shutdown();
     }
 
@@ -756,7 +1322,7 @@ mod tests {
         let tickets: Vec<Ticket> = (0..3)
             .map(|i| server.submit(ValuationRequest::new(Estimator::ExactMc, 0, i)))
             .collect();
-        let responses: Vec<ValuationResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        let responses: Vec<ValuationResponse> = tickets.into_iter().map(|t| ok(t.wait())).collect();
         let expected = exact_mc_sv(&HashUtility { n: 8, seed: 3 });
         for resp in &responses {
             assert_eq!(resp.values, expected, "bit-identical to solo execution");
@@ -769,6 +1335,8 @@ mod tests {
         // into one flush) and 3·2^8 (no cross-run coalescing) lookups.
         assert!((1 << 8..=3 * (1 << 8)).contains(&stats.eval.lookups));
         assert_eq!(stats.distinct_coalitions, stats.eval.lookups);
+        assert_eq!(stats.failed_flushes, 0);
+        assert_eq!(stats.retries, 0);
         server.shutdown();
     }
 
@@ -781,7 +1349,7 @@ mod tests {
         let tickets: Vec<Ticket> = (0..4)
             .map(|i| server.submit(ValuationRequest::new(Estimator::ExactCc, 0, i)))
             .collect();
-        let responses: Vec<ValuationResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        let responses: Vec<ValuationResponse> = tickets.into_iter().map(|t| ok(t.wait())).collect();
         let stats = server.stats();
         assert!(
             stats.merged_batches > stats.flushes,
@@ -804,10 +1372,10 @@ mod tests {
         let weights = vec![0.1, 0.2, 0.3, 0.4, 0.5];
         let u = crate::utility::AdditiveUtility::new(0.0, weights.clone());
         let server = ValuationServer::start(u);
-        let resp = server.call(
+        let resp = ok(server.call(
             ValuationRequest::new(Estimator::ExactMc, 0, 0)
                 .for_clients(Coalition::from_members([1, 3, 4])),
-        );
+        ));
         assert_eq!(resp.clients, vec![1, 3, 4]);
         for (pos, &i) in resp.clients.iter().enumerate() {
             assert!(
@@ -824,6 +1392,23 @@ mod tests {
     }
 
     #[test]
+    fn invalid_requests_fail_with_the_typed_error() {
+        let server = ValuationServer::start(TableUtility::paper_table1());
+        let empty = server
+            .call(ValuationRequest::new(Estimator::Loo, 0, 0).for_clients(Coalition::empty()));
+        assert!(matches!(empty, Err(ValuationError::InvalidRequest { .. })));
+        let oob = server.call(
+            ValuationRequest::new(Estimator::Loo, 0, 0)
+                .for_clients(Coalition::from_members([0, 5])),
+        );
+        assert!(matches!(oob, Err(ValuationError::InvalidRequest { .. })));
+        // The server stays healthy after rejecting malformed requests.
+        let resp = ok(server.call(ValuationRequest::new(Estimator::Loo, 0, 0)));
+        assert_eq!(resp.values.len(), 3);
+        server.shutdown();
+    }
+
+    #[test]
     fn mixed_estimators_share_overlapping_coalitions() {
         let server = ValuationServer::start(HashUtility { n: 6, seed: 4 });
         let tickets = vec![
@@ -834,7 +1419,7 @@ mod tests {
             server.submit(ValuationRequest::new(Estimator::Owen, 56, 5)),
             server.submit(ValuationRequest::new(Estimator::BanzhafPruned, 20, 6)),
         ];
-        let responses: Vec<ValuationResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        let responses: Vec<ValuationResponse> = tickets.into_iter().map(|t| ok(t.wait())).collect();
         assert_eq!(responses.len(), 6);
         for resp in &responses {
             assert_eq!(resp.values.len(), 6);
@@ -853,9 +1438,7 @@ mod tests {
         // amid concurrent traffic — must return bit-identical values.
         let solo = {
             let server = ValuationServer::start(HashUtility { n: 8, seed: 11 });
-            server
-                .call(ValuationRequest::new(Estimator::Ipss, 30, 7))
-                .values
+            ok(server.call(ValuationRequest::new(Estimator::Ipss, 30, 7))).values
         };
         let server = ValuationServer::start(HashUtility { n: 8, seed: 11 });
         let tickets = vec![
@@ -863,7 +1446,7 @@ mod tests {
             server.submit(ValuationRequest::new(Estimator::ExactMc, 0, 1)),
             server.submit(ValuationRequest::new(Estimator::StratifiedCc, 24, 9)),
         ];
-        let responses: Vec<ValuationResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        let responses: Vec<ValuationResponse> = tickets.into_iter().map(|t| ok(t.wait())).collect();
         assert_eq!(responses[0].values, solo);
         server.shutdown();
     }
@@ -871,7 +1454,7 @@ mod tests {
     #[test]
     fn stats_snapshot_is_attached_to_each_response() {
         let server = ValuationServer::start(TableUtility::paper_table1());
-        let resp = server.call(ValuationRequest::new(Estimator::Loo, 0, 0));
+        let resp = ok(server.call(ValuationRequest::new(Estimator::Loo, 0, 0)));
         assert_eq!(resp.service.requests, 1);
         assert!(resp.service.flushes >= 1);
         assert!(resp.service.traj.is_none(), "no traj source installed");
@@ -889,7 +1472,29 @@ mod tests {
             })
             .start();
         let stats = server.stats();
-        assert_eq!(stats.traj.expect("source installed").probes, 5);
+        match stats.traj {
+            Some(traj) => assert_eq!(traj.probes, 5),
+            None => panic!("traj source installed but not surfaced"),
+        }
         server.shutdown();
+    }
+
+    #[test]
+    fn partial_prefix_fold_of_a_full_exact_log_recovers_loo_like_pairs() {
+        // Sanity anchor on the fold itself: over the full 2^n log of an
+        // additive utility, every evaluated pair has the same marginal
+        // contribution w_i, so the stratified-mean fold returns exactly
+        // the weights.
+        let weights = [0.25, 0.5, 1.0];
+        let u = crate::utility::AdditiveUtility::new(0.0, weights.to_vec());
+        let log: Vec<(Coalition, f64)> = crate::coalition::all_subsets(3)
+            .map(|s| (s, u.eval(s)))
+            .collect();
+        let phi = partial_prefix_fold(3, &log);
+        for (i, &w) in weights.iter().enumerate() {
+            assert!((phi[i] - w).abs() < 1e-12, "client {i}: {} vs {w}", phi[i]);
+        }
+        // Prefix property: the fold over the empty log is all zeros.
+        assert_eq!(partial_prefix_fold(3, &[]), vec![0.0; 3]);
     }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::coalition::Coalition;
@@ -355,21 +355,27 @@ impl<U: Utility> CachedUtility<U> {
     /// Clear both the memo table and the statistics.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().unwrap().clear();
+            shard
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
         }
         self.reset_stats();
     }
 
     /// Number of memoised coalitions.
     pub fn cached_len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
     }
 
     /// True iff the coalition has already been evaluated.
     pub fn is_cached(&self, s: Coalition) -> bool {
         self.shards[shard_of(s.0)]
             .read()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .contains_key(&s.0)
     }
 
@@ -377,7 +383,7 @@ impl<U: Utility> CachedUtility<U> {
     fn get(&self, s: Coalition) -> Option<f64> {
         self.shards[shard_of(s.0)]
             .read()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&s.0)
             .copied()
     }
@@ -385,7 +391,12 @@ impl<U: Utility> CachedUtility<U> {
     /// Insert a freshly evaluated value; counts it towards `evaluations`
     /// only if this thread's insert landed first. Returns whether it did.
     fn insert_counted(&self, s: Coalition, v: f64) -> bool {
-        let mut shard = self.shards[shard_of(s.0)].write().unwrap();
+        // Poison-tolerant: a panicking inner utility never holds a shard
+        // lock (inserts happen after the inner call returns), and even a
+        // poisoned shard holds only fully-written entries.
+        let mut shard = self.shards[shard_of(s.0)]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(s.0) {
             e.insert(v);
             self.evaluations.fetch_add(1, Ordering::Relaxed);

@@ -10,6 +10,10 @@
 //! trajectory cache, so local trainings bit-equal across runs (all of
 //! round 0, plus any later-round coincidence) are paid once per cache
 //! lifetime — and, with a byte budget, within a bounded memory envelope.
+//! FL training batches are the heaviest in the codebase, so the config
+//! also exposes the server's bounded-latency [`FlushWindow`] triggers
+//! (`fedval_core::service::FlushWindow`): a slow FedAvg run then delays a
+//! fast peer's parked batch by at most `flush_max_wait`.
 //!
 //! ```no_run
 //! use fedval_core::service::{Estimator, ValuationRequest};
@@ -31,14 +35,16 @@
 //!         ..Default::default()
 //!     },
 //! );
-//! let loo = server.call(ValuationRequest::new(Estimator::Loo, 0, 0));
-//! let ipss = server.call(ValuationRequest::new(Estimator::Ipss, 16, 7));
+//! let loo = server.call(ValuationRequest::new(Estimator::Loo, 0, 0)).expect("healthy run");
+//! let ipss = server.call(ValuationRequest::new(Estimator::Ipss, 16, 7)).expect("healthy run");
 //! println!("LOO {:?} / IPSS {:?}", loo.values, ipss.values);
 //! println!("cache occupancy: {} bytes", cache.stats().bytes);
 //! server.shutdown();
 //! ```
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use fedval_core::service::ValuationServer;
 use fedval_core::utility::ParallelUtility;
@@ -60,6 +66,14 @@ pub struct FlServiceConfig {
     /// Thread count of the server-side `ParallelUtility` fan-out
     /// (`None` = rayon's process-wide default, i.e. all cores).
     pub threads: Option<usize>,
+    /// Bound the time a parked batch waits on the coalescing barrier:
+    /// flush once the oldest parked batch is this old, even if not every
+    /// eligible run has parked (`None` = barrier only). Trades some
+    /// cross-run coalescing for a latency cap; never changes a value.
+    pub flush_max_wait: Option<Duration>,
+    /// Flush as soon as this many batches are parked (`None` = barrier
+    /// only; `Some(1)` disables cross-run batching entirely).
+    pub flush_after_parked: Option<usize>,
 }
 
 /// Start a multi-valuation server over one [`FlUtility`].
@@ -89,17 +103,21 @@ pub fn serve(
         None => ParallelUtility::new(utility),
     };
     let stats_handle = Arc::clone(&cache);
-    let server = ValuationServer::builder(fan_out)
-        .traj_stats(move || stats_handle.stats())
-        .start();
-    (server, cache)
+    let mut builder = ValuationServer::builder(fan_out).traj_stats(move || stats_handle.stats());
+    if let Some(max_wait) = cfg.flush_max_wait {
+        builder = builder.flush_window(max_wait);
+    }
+    if let Some(max_parked) = cfg.flush_after_parked {
+        builder = builder.flush_after_parked(max_parked);
+    }
+    (builder.start(), cache)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use fedval_core::coalition::Coalition;
-    use fedval_core::service::{Estimator, ValuationRequest};
+    use fedval_core::service::{Estimator, ValuationError, ValuationRequest, ValuationResponse};
     use fedval_core::utility::Utility;
     use fedval_data::{MnistLike, SyntheticSetup};
     use rand::rngs::StdRng;
@@ -107,6 +125,15 @@ mod tests {
 
     use crate::config::FedAvgConfig;
     use crate::model::ModelSpec;
+
+    /// Unwrap a service result in tests (plain `panic!` keeps the module
+    /// clean under `deny(clippy::unwrap_used, clippy::expect_used)`).
+    fn ok(result: Result<ValuationResponse, ValuationError>) -> ValuationResponse {
+        match result {
+            Ok(resp) => resp,
+            Err(e) => panic!("request failed: {e}"),
+        }
+    }
 
     fn tiny_utility() -> FlUtility {
         let gen = MnistLike::new(21);
@@ -134,13 +161,15 @@ mod tests {
             u.eval_batch(&coalitions)
         };
         let (server, cache) = serve(tiny_utility(), FlServiceConfig::default());
-        let resp = server.call(ValuationRequest::new(Estimator::ExactMc, 0, 0));
+        let resp = ok(server.call(ValuationRequest::new(Estimator::ExactMc, 0, 0)));
         // The exact sweep touched every subset; spot-check through the
         // exact values instead of raw utilities.
         let direct = fedval_core::exact::exact_mc_sv(&tiny_utility());
         assert_eq!(resp.values, direct);
         assert_eq!(resp.service.eval.evaluations, expected.len());
-        let traj = resp.service.traj.expect("traj stats wired");
+        let Some(traj) = resp.service.traj else {
+            panic!("traj stats wired by serve()")
+        };
         assert!(traj.local_trainings > 0);
         assert_eq!(traj.entries, cache.stats().entries);
         server.shutdown();
@@ -154,13 +183,37 @@ mod tests {
             FlServiceConfig {
                 traj_budget_bytes: Some(budget),
                 threads: Some(1),
+                ..Default::default()
             },
         );
-        let resp = server.call(ValuationRequest::new(Estimator::ExactMc, 0, 0));
-        let traj = resp.service.traj.expect("traj stats wired");
+        let resp = ok(server.call(ValuationRequest::new(Estimator::ExactMc, 0, 0)));
+        let Some(traj) = resp.service.traj else {
+            panic!("traj stats wired by serve()")
+        };
         assert!(traj.bytes <= budget, "occupancy {} over budget", traj.bytes);
         assert!(traj.evictions > 0, "a sweep this size must overflow");
         assert_eq!(cache.byte_budget(), Some(budget));
+        server.shutdown();
+    }
+
+    #[test]
+    fn windowed_service_is_bit_identical_to_barrier_mode() {
+        let barrier = {
+            let (server, _cache) = serve(tiny_utility(), FlServiceConfig::default());
+            let v = ok(server.call(ValuationRequest::new(Estimator::Ipss, 8, 5))).values;
+            server.shutdown();
+            v
+        };
+        let (server, _cache) = serve(
+            tiny_utility(),
+            FlServiceConfig {
+                flush_max_wait: Some(Duration::from_millis(2)),
+                flush_after_parked: Some(1),
+                ..Default::default()
+            },
+        );
+        let windowed = ok(server.call(ValuationRequest::new(Estimator::Ipss, 8, 5)));
+        assert_eq!(windowed.values, barrier, "flush triggers changed a value");
         server.shutdown();
     }
 }

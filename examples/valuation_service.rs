@@ -67,14 +67,19 @@ fn run_server(
             // Generous budget: big enough to never evict in this demo,
             // present to show where the memory bound plugs in.
             traj_budget_bytes: Some(64 << 20),
-            threads: None,
+            ..Default::default()
         },
     );
     let responses: Vec<ValuationResponse> = if concurrent {
         let tickets: Vec<_> = reqs.into_iter().map(|r| server.submit(r)).collect();
-        tickets.into_iter().map(|t| t.wait()).collect()
+        tickets
+            .into_iter()
+            .map(|t| t.wait().expect("healthy demo utility"))
+            .collect()
     } else {
-        reqs.into_iter().map(|r| server.call(r)).collect()
+        reqs.into_iter()
+            .map(|r| server.call(r).expect("healthy demo utility"))
+            .collect()
     };
     let stats = server.stats();
     let trainings = stats
@@ -152,4 +157,21 @@ fn main() {
     for (i, v) in exact.values.iter().enumerate() {
         println!("  client {i}: {v:+.4}");
     }
+
+    // Failure model: a budget-capped request degrades gracefully instead
+    // of erroring — it returns the fold of whatever prefix its budget
+    // afforded, flagged partial. `Ticket::wait` returns a Result, so a
+    // caller handles faults and limits in one match.
+    let (server, _cache) = serve(fl_utility(), FlServiceConfig::default());
+    let capped =
+        server.submit(ValuationRequest::new(Estimator::Ipss, 24, 2).with_max_evals(1 + N_CLIENTS));
+    match capped.wait() {
+        Ok(resp) if resp.run.partial => println!(
+            "\nbudget-capped IPSS: partial after {} batches ({} evals), values {:?}",
+            resp.run.batches, resp.run.coalitions, resp.values
+        ),
+        Ok(resp) => println!("\nbudget-capped IPSS finished in full: {:?}", resp.values),
+        Err(e) => println!("\nbudget-capped IPSS failed: {e}"),
+    }
+    server.shutdown();
 }

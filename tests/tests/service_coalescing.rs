@@ -60,7 +60,7 @@ fn solo_baseline() -> (Vec<Vec<f64>>, usize, usize, usize) {
     let mut round0 = 0;
     for req in workload() {
         let (server, _cache) = serve(fl_utility(), FlServiceConfig::default());
-        values.push(server.call(req).values);
+        values.push(server.call(req).expect("healthy run").values);
         let stats = server.stats();
         let traj = stats.traj.expect("traj wired");
         models += stats.eval.evaluations;
@@ -77,7 +77,10 @@ fn concurrent_requests_coalesce_and_stay_bit_identical() {
 
     let (server, cache) = serve(fl_utility(), FlServiceConfig::default());
     let tickets: Vec<_> = workload().into_iter().map(|r| server.submit(r)).collect();
-    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("healthy run"))
+        .collect();
 
     // Contract 1: bit-identical to solo execution, per request.
     for (resp, solo) in responses.iter().zip(&solo_values) {
@@ -126,7 +129,9 @@ fn concurrent_requests_coalesce_and_stay_bit_identical() {
 fn service_with_traj_budget_is_bit_identical_and_bounded() {
     let reqs = || vec![ValuationRequest::new(Estimator::ExactMc, 0, 1)];
     let (unbounded_server, _c) = serve(fl_utility(), FlServiceConfig::default());
-    let unbounded = unbounded_server.call(reqs().remove(0));
+    let unbounded = unbounded_server
+        .call(reqs().remove(0))
+        .expect("healthy run");
     unbounded_server.shutdown();
 
     // A budget of a few updates forces steady-state eviction mid-sweep.
@@ -137,9 +142,10 @@ fn service_with_traj_budget_is_bit_identical_and_bounded() {
         FlServiceConfig {
             traj_budget_bytes: Some(budget),
             threads: Some(1),
+            ..Default::default()
         },
     );
-    let bounded = server.call(reqs().remove(0));
+    let bounded = server.call(reqs().remove(0)).expect("healthy run");
     let traj = bounded.service.traj.expect("traj wired");
     assert_eq!(
         bounded.values, unbounded.values,
@@ -193,12 +199,16 @@ fn subgame_requests_share_the_global_coalition_space() {
     // A sub-game request's coalitions are global masks: valuing {0,1,2}
     // after a full exact sweep must train nothing new.
     let (server, _cache) = serve(fl_utility(), FlServiceConfig::default());
-    let full = server.call(ValuationRequest::new(Estimator::ExactMc, 0, 1));
+    let full = server
+        .call(ValuationRequest::new(Estimator::ExactMc, 0, 1))
+        .expect("healthy run");
     let models_after_full = full.service.eval.evaluations;
-    let sub = server.call(
-        ValuationRequest::new(Estimator::ExactMc, 0, 1)
-            .for_clients(Coalition::from_members([0, 1, 2])),
-    );
+    let sub = server
+        .call(
+            ValuationRequest::new(Estimator::ExactMc, 0, 1)
+                .for_clients(Coalition::from_members([0, 1, 2])),
+        )
+        .expect("healthy run");
     assert_eq!(sub.clients, vec![0, 1, 2]);
     assert_eq!(
         sub.service.eval.evaluations, models_after_full,
