@@ -26,6 +26,14 @@
 //! the workspace root, stamped with `machine_cores`/`rayon_num_threads`
 //! like every tracking report.
 //!
+//! A fifth section measures **anytime** valuation: for Owen and
+//! stratified-MC requests over a spread of seeds, a fixed-budget run is
+//! compared with a same-seed run stopped by `CiAtMost(ε)` at the CI the
+//! fixed budget *guarantees* (twice the full run's final half-width —
+//! both runs satisfy the target, the anytime run just stops as soon as
+//! it does). p50/p99 `samples_used` for both and the evals-saved factor
+//! go into the report; the Owen problem must save ≥ 2×.
+//!
 //! Knobs: `FEDVAL_SERVICE_N=<clients>` (default 7; `FEDVAL_QUICK=1` drops
 //! to 5), `FEDVAL_SERVICE_JSON=<path>` to redirect the report.
 
@@ -170,6 +178,121 @@ fn run_mode(
     }
 }
 
+/// One estimator's fixed-budget vs CI-stopped comparison, over seeds.
+struct Anytime {
+    label: &'static str,
+    n_clients: usize,
+    budget: usize,
+    seeds: usize,
+    /// `samples_used` of each full (fixed-budget) run.
+    fixed_samples: Vec<f64>,
+    /// `samples_used` of each same-seed CI-stopped run.
+    stopped_samples: Vec<f64>,
+    /// Runs whose stopping rule actually fired before the schedule end.
+    stopped_early: usize,
+}
+
+impl Anytime {
+    /// Mean evals of the fixed-budget runs over the CI-stopped runs —
+    /// the work saved at a matched CI target.
+    fn saved_factor(&self) -> f64 {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        mean(&self.fixed_samples) / mean(&self.stopped_samples).max(1.0)
+    }
+}
+
+/// Fixed budget vs CI-stopped at a matched target, on a shared server
+/// (the coalition/trajectory caches change cost, not `samples_used`,
+/// which counts the estimator's own schedule).
+fn run_anytime(
+    server: &fedval_fl::service::FlValuationServer,
+    label: &'static str,
+    n_clients: usize,
+    estimator: Estimator,
+    budget: usize,
+    seeds: usize,
+) -> Anytime {
+    use fedval_core::anytime::StoppingRule;
+    let mut out = Anytime {
+        label,
+        n_clients,
+        budget,
+        seeds,
+        fixed_samples: Vec::new(),
+        stopped_samples: Vec::new(),
+        stopped_early: 0,
+    };
+    let samples = |resp: &ValuationResponse| -> f64 {
+        resp.progress
+            .as_ref()
+            .map(|s| s.samples_used as f64)
+            .expect("streaming response carries a snapshot")
+    };
+    for seed in 0..seeds as u64 {
+        let req = ValuationRequest::new(estimator, budget, 0xA0 + seed);
+        // The fixed-budget run: what a non-anytime deployment pays, and
+        // the CI it certifies at the end.
+        let full = server
+            .call(req.clone().with_stopping(StoppingRule::stream_only()))
+            .expect("healthy run");
+        let h_full = full
+            .progress
+            .as_ref()
+            .map(|s| s.max_halfwidth())
+            .expect("streaming response carries a snapshot");
+        out.fixed_samples.push(samples(&full));
+        // Matched target: both runs certify CI ≤ 2·h_full; the anytime
+        // run stops at the first batch boundary that reaches it.
+        let eps = if h_full.is_finite() {
+            2.0 * h_full
+        } else {
+            f64::INFINITY
+        };
+        let stopped = server
+            .call(req.with_stopping(StoppingRule::ci_at_most(eps)))
+            .expect("healthy run");
+        out.stopped_samples.push(samples(&stopped));
+        out.stopped_early += stopped.run.stopped_early as usize;
+    }
+    out
+}
+
+fn print_anytime(a: &Anytime) {
+    println!(
+        "anytime {:13} n {:2} budget {:4}  fixed p50 {:6.0} p99 {:6.0}  \
+         stopped p50 {:6.0} p99 {:6.0}  saved {:.2}x  ({}/{} stopped early)",
+        a.label,
+        a.n_clients,
+        a.budget,
+        percentile(&a.fixed_samples, 50.0),
+        percentile(&a.fixed_samples, 99.0),
+        percentile(&a.stopped_samples, 50.0),
+        percentile(&a.stopped_samples, 99.0),
+        a.saved_factor(),
+        a.stopped_early,
+        a.seeds,
+    );
+}
+
+fn anytime_json(a: &Anytime) -> String {
+    format!(
+        "{{\"estimator\": \"{}\", \"n_clients\": {}, \"budget\": {}, \"seeds\": {}, \
+         \"fixed_samples_p50\": {:.1}, \"fixed_samples_p99\": {:.1}, \
+         \"stopped_samples_p50\": {:.1}, \"stopped_samples_p99\": {:.1}, \
+         \"evals_saved_factor\": {:.4}, \"stopped_early\": {}}}",
+        a.label,
+        a.n_clients,
+        a.budget,
+        a.seeds,
+        percentile(&a.fixed_samples, 50.0),
+        percentile(&a.fixed_samples, 99.0),
+        percentile(&a.stopped_samples, 50.0),
+        percentile(&a.stopped_samples, 99.0),
+        a.saved_factor(),
+        a.stopped_early,
+    )
+}
+
 fn print_mode(label: &str, m: &Mode, r: usize) {
     println!(
         "{label:11} {:8.3}s  {:6.2} req/s  {:5} models  {:6} local trainings  \
@@ -230,15 +353,56 @@ fn main() {
         "shared trajectory cache must dedup across runs"
     );
 
+    // Anytime section: fixed budget vs CI-stopped at a matched target,
+    // per estimator over a seed spread, on a shared server per problem —
+    // the caches cut wall-clock cost but leave `samples_used` untouched.
+    // Owen gets a few more clients than the throughput workload: its
+    // savings question is only interesting while the schedule samples
+    // the coalition space rather than enumerating it. Stratified MC
+    // stays at the workload size — its per-(client, stratum) CI only
+    // goes finite once the strata are nearly covered, so the honest
+    // comparison runs where that happens.
+    let seeds = 12;
+    let n_any = n + 3;
+    let (server, _cache) = serve(fl_utility(n_any), FlServiceConfig::default());
+    let owen = run_anytime(
+        &server,
+        "owen",
+        n_any,
+        Estimator::Owen,
+        4 * (n_any + 1) * 16,
+        seeds,
+    );
+    print_anytime(&owen);
+    server.shutdown();
+    let (server, _cache) = serve(fl_utility(n), FlServiceConfig::default());
+    let stratified = run_anytime(
+        &server,
+        "stratified_mc",
+        n,
+        Estimator::StratifiedMc,
+        30 * n,
+        seeds,
+    );
+    print_anytime(&stratified);
+    server.shutdown();
+    assert!(
+        owen.saved_factor() >= 2.0,
+        "anytime Owen must save >= 2x evaluations at a matched CI, got {:.2}x",
+        owen.saved_factor()
+    );
+
     let path = std::env::var("FEDVAL_SERVICE_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR")));
     let report = format!(
-        "{{\n  \"bench\": \"service_throughput\",\n  \"scenario\": \"6 valuation requests (exact MC/CC, IPSS, stratified MC, Owen, LOO) over one FedAvg utility: fresh server per request (solo) vs one server at 1 (sequential) and N (concurrent) requests in flight, plus concurrent under a {window_ms} ms bounded-latency flush window (windowed)\",\n  \"n_clients\": {n},\n  \"requests\": {r},\n  \"flush_window_ms\": {window_ms},\n  {},\n  \"solo\": {},\n  \"sequential\": {},\n  \"concurrent\": {},\n  \"windowed\": {},\n  \"dedup_factor_models\": {dedup_models:.4},\n  \"dedup_factor_local_trainings\": {dedup_trainings:.4},\n  \"values_bit_identical\": {identical}\n}}\n",
+        "{{\n  \"bench\": \"service_throughput\",\n  \"scenario\": \"6 valuation requests (exact MC/CC, IPSS, stratified MC, Owen, LOO) over one FedAvg utility: fresh server per request (solo) vs one server at 1 (sequential) and N (concurrent) requests in flight, plus concurrent under a {window_ms} ms bounded-latency flush window (windowed), plus fixed-budget vs CiAtMost-stopped anytime runs at a matched CI target\",\n  \"n_clients\": {n},\n  \"requests\": {r},\n  \"flush_window_ms\": {window_ms},\n  {},\n  \"solo\": {},\n  \"sequential\": {},\n  \"concurrent\": {},\n  \"windowed\": {},\n  \"dedup_factor_models\": {dedup_models:.4},\n  \"dedup_factor_local_trainings\": {dedup_trainings:.4},\n  \"values_bit_identical\": {identical},\n  \"anytime\": [\n    {},\n    {}\n  ]\n}}\n",
         fedval_bench::parallelism_json_fields(),
         mode_json(&solo, r),
         mode_json(&sequential, r),
         mode_json(&concurrent, r),
         mode_json(&windowed, r),
+        anytime_json(&owen),
+        anytime_json(&stratified),
         window_ms = WINDOW.as_millis(),
     );
     let mut file = std::fs::File::create(&path).expect("create BENCH_service.json");

@@ -1,0 +1,400 @@
+//! Anytime valuation: running confidence intervals and stopping rules.
+//!
+//! Every sampling estimator in this crate draws its randomness up front
+//! and folds evaluated coalitions in a fixed order, so the estimate after
+//! any prefix of the schedule is a well-defined, bit-reproducible value.
+//! This module supplies the machinery that turns those prefixes into an
+//! *anytime* estimator: per-stratum running mean/variance accumulators
+//! ([`Welford`]), the confidence-interval half-width over a stratified
+//! estimate ([`component_variance`] / [`halfwidth`]), the progress
+//! snapshot streamed after each flushed batch ([`ProgressSnapshot`]) and
+//! the stopping rule a request can carry ([`StoppingRule`]).
+//!
+//! # CI conventions
+//!
+//! The half-width bounds *sampling* noise only, at 95% normal coverage
+//! ([`Z_95`]). Per independent component (a stratum of Alg. 1 / IPSS, or
+//! one Owen grid node), with `m` observed contributions out of a
+//! population of `M` (sampling without replacement), the component's
+//! variance term follows these conventions — chosen so the math never
+//! divides by zero or produces NaN:
+//!
+//! * `m ≥ M` (component fully enumerated): the term is **0** — no
+//!   sampling randomness remains (the finite-population correction in
+//!   the limit).
+//! * `m = 0` but the component is scheduled: the term is **unbounded**
+//!   (`None`, surfacing as an `∞` half-width) — nothing observed yet.
+//! * `m = 1` with `m < M`: **unbounded** — one observation cannot bound
+//!   the spread.
+//! * zero sample variance: the term is **0** (e.g. an additive utility's
+//!   constant marginals).
+//! * otherwise: `w²·(s²/m)·(1 − m/M)` — the classical stratum-mean
+//!   variance with finite-population correction, scaled by the weight
+//!   `w` the component carries in the estimate.
+//!
+//! Components an estimator never schedules (a zero-budget stratum, the
+//! strata above IPSS's `k*`) contribute **0**: their omission is
+//! truncation bias, deliberately excluded from a *sampling* CI — the
+//! half-width brackets the estimator's own converged value, not the
+//! exact Shapley value.
+//!
+//! # Determinism contract
+//!
+//! A snapshot is a pure function of the evaluated prefix: the streaming
+//! estimators recompute the fold from scratch in the canonical order at
+//! every batch boundary, so a run stopped after `b` batches returns
+//! values **bit-identical** to the `b`-th snapshot of the same-seed full
+//! run — at any thread count, under any coalescing schedule. A run whose
+//! schedule completes returns values bit-identical to the non-streaming
+//! estimator (the complete prefix folds through the identical code
+//! path).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+/// 97.5% standard-normal quantile: half-widths are 95% two-sided CIs.
+pub const Z_95: f64 = 1.959963984540054;
+
+/// Welford's online mean/variance accumulator — numerically stable
+/// running moments over the contributions observed in fold order.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Welford {
+    count: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Fold one observation into the running moments.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Running mean (0 before the first observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance `m2/(count−1)`, or `None` with fewer
+    /// than two observations (a single sample cannot bound the spread).
+    pub fn sample_variance(&self) -> Option<f64> {
+        if self.count < 2 {
+            return None;
+        }
+        // m2 is a sum of squares; guard the tiny negative excursions
+        // floating-point cancellation can produce.
+        Some((self.m2 / (self.count - 1) as f64).max(0.0))
+    }
+}
+
+/// Variance contribution of one weighted component (stratum / grid node)
+/// of a client's estimate, under sampling without replacement from a
+/// population of `population` contributions (use `f64::INFINITY` for
+/// with-replacement / unbounded frames).
+///
+/// Returns `None` when the component's spread cannot be bounded yet
+/// (`m = 0`, or `m = 1` with the component not fully enumerated) — the
+/// caller surfaces this as an infinite half-width. See the
+/// [module docs](self) for the full convention table.
+pub fn component_variance(acc: &Welford, weight: f64, population: f64) -> Option<f64> {
+    let m = acc.count();
+    if m == 0 {
+        return None;
+    }
+    let m_f = m as f64;
+    if m_f >= population {
+        return Some(0.0); // fully enumerated: no sampling noise left
+    }
+    let s2 = acc.sample_variance()?;
+    if s2 == 0.0 {
+        return Some(0.0);
+    }
+    let fpc = (1.0 - m_f / population).max(0.0);
+    Some(weight * weight * (s2 / m_f) * fpc)
+}
+
+/// Combine a client's per-component variance terms into the 95% CI
+/// half-width: `Z_95 · sqrt(Σ terms)`, or `∞` if any scheduled
+/// component is still unbounded (`None`).
+pub fn halfwidth(terms: impl IntoIterator<Item = Option<f64>>) -> f64 {
+    let mut total = 0.0f64;
+    for term in terms {
+        match term {
+            Some(t) => total += t,
+            None => return f64::INFINITY,
+        }
+    }
+    Z_95 * total.sqrt()
+}
+
+/// One streamed progress event: the estimate and its uncertainty after a
+/// flushed batch. A pure function of the evaluated prefix (see the
+/// [module docs](self) for the determinism contract).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Value estimates folded from the evaluated prefix, per client.
+    pub values: Vec<f64>,
+    /// 95% CI half-widths aligned with `values` (`∞` until every
+    /// scheduled component of that client has enough observations).
+    pub ci_halfwidths: Vec<f64>,
+    /// Coalitions evaluated so far (including `∅` where the estimator
+    /// evaluates it).
+    pub samples_used: usize,
+    /// Batches flushed so far.
+    pub batches_done: usize,
+}
+
+impl ProgressSnapshot {
+    /// The widest client CI — what [`StoppingRule::ci_at_most`] tests.
+    pub fn max_halfwidth(&self) -> f64 {
+        self.ci_halfwidths.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+}
+
+/// Whether a streaming estimator continues past a batch boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Evaluate the next batch.
+    Continue,
+    /// Stop: return the current snapshot's values (the canonical prefix
+    /// fold) as the run's result.
+    Stop,
+}
+
+/// When to stop a streaming run early, checked at every batch boundary.
+/// Conditions compose with OR: the run stops as soon as *either* fires.
+/// A rule with no conditions ([`StoppingRule::stream_only`]) never stops
+/// the run but still turns on progress streaming in the service.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StoppingRule {
+    /// Stop once every client's CI half-width is at most this ε.
+    pub ci_at_most: Option<f64>,
+    /// Stop once this many coalitions have been evaluated.
+    pub max_samples: Option<usize>,
+}
+
+impl StoppingRule {
+    /// Stream progress snapshots without ever stopping early.
+    pub fn stream_only() -> Self {
+        StoppingRule::default()
+    }
+
+    /// Stop when the widest client CI half-width drops to `eps`.
+    pub fn ci_at_most(eps: f64) -> Self {
+        StoppingRule {
+            ci_at_most: Some(eps),
+            max_samples: None,
+        }
+    }
+
+    /// Stop after `m` coalition evaluations.
+    pub fn max_samples(m: usize) -> Self {
+        StoppingRule {
+            ci_at_most: None,
+            max_samples: Some(m),
+        }
+    }
+
+    /// Add a CI condition to this rule.
+    pub fn and_ci_at_most(mut self, eps: f64) -> Self {
+        self.ci_at_most = Some(eps);
+        self
+    }
+
+    /// Add a sample cap to this rule.
+    pub fn and_max_samples(mut self, m: usize) -> Self {
+        self.max_samples = Some(m);
+        self
+    }
+
+    /// Does the rule fire on this snapshot?
+    pub fn should_stop(&self, snapshot: &ProgressSnapshot) -> bool {
+        if let Some(eps) = self.ci_at_most {
+            // An unbounded half-width certifies nothing: it never
+            // satisfies a CI target, even ε = ∞.
+            let h = snapshot.max_halfwidth();
+            if h.is_finite() && h <= eps {
+                return true;
+            }
+        }
+        if let Some(m) = self.max_samples {
+            if snapshot.samples_used >= m {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// What a streaming estimator returns: the final estimate plus the
+/// anytime bookkeeping. The last snapshot passed to the observer always
+/// equals this outcome field-for-field (values bit-identically), so a
+/// dashboard's final event and the returned result never disagree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamingOutcome {
+    /// The full fold when the schedule completed (bit-identical to the
+    /// non-streaming estimator), or the canonical prefix fold at the
+    /// stop point.
+    pub values: Vec<f64>,
+    /// Final 95% CI half-widths, aligned with `values`.
+    pub ci_halfwidths: Vec<f64>,
+    /// Coalitions evaluated.
+    pub samples_used: usize,
+    /// Batches flushed.
+    pub batches_done: usize,
+    /// The stopping rule fired before the schedule completed.
+    pub stopped_early: bool,
+}
+
+impl StreamingOutcome {
+    /// Build the outcome from the snapshot the observer saw last.
+    pub fn from_snapshot(snapshot: ProgressSnapshot, stopped_early: bool) -> Self {
+        StreamingOutcome {
+            values: snapshot.values,
+            ci_halfwidths: snapshot.ci_halfwidths,
+            samples_used: snapshot.samples_used,
+            batches_done: snapshot.batches_done,
+            stopped_early,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass_moments() {
+        let xs = [0.3, -1.2, 4.5, 0.0, 2.2, -0.7];
+        let mut acc = Welford::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        let got = match acc.sample_variance() {
+            Some(v) => v,
+            None => panic!("six observations must yield a variance"),
+        };
+        assert!((got - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_single_sample_has_no_variance() {
+        let mut acc = Welford::new();
+        assert_eq!(acc.sample_variance(), None);
+        acc.push(3.0);
+        assert_eq!(acc.sample_variance(), None);
+        assert_eq!(acc.count(), 1);
+        assert!((acc.mean() - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn welford_constant_sequence_has_zero_variance() {
+        let mut acc = Welford::new();
+        for _ in 0..50 {
+            acc.push(0.125);
+        }
+        assert_eq!(acc.sample_variance(), Some(0.0));
+    }
+
+    #[test]
+    fn component_variance_conventions() {
+        // m = 0: unbounded.
+        assert_eq!(component_variance(&Welford::new(), 1.0, 10.0), None);
+        // m = 1 < M: unbounded.
+        let mut one = Welford::new();
+        one.push(2.0);
+        assert_eq!(component_variance(&one, 1.0, 10.0), None);
+        // m = 1 = M: fully enumerated, zero.
+        assert_eq!(component_variance(&one, 1.0, 1.0), Some(0.0));
+        // zero variance: zero.
+        let mut flat = Welford::new();
+        flat.push(5.0);
+        flat.push(5.0);
+        assert_eq!(component_variance(&flat, 1.0, 100.0), Some(0.0));
+        // m = M > 1: fully enumerated, zero even with spread.
+        let mut full = Welford::new();
+        full.push(1.0);
+        full.push(3.0);
+        assert_eq!(component_variance(&full, 1.0, 2.0), Some(0.0));
+        // The generic case: w²·(s²/m)·(1 − m/M).
+        let mut acc = Welford::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            acc.push(x);
+        }
+        let s2 = match acc.sample_variance() {
+            Some(v) => v,
+            None => panic!("four observations"),
+        };
+        let got = match component_variance(&acc, 0.5, 10.0) {
+            Some(v) => v,
+            None => panic!("bounded"),
+        };
+        let want = 0.25 * (s2 / 4.0) * (1.0 - 4.0 / 10.0);
+        assert!((got - want).abs() < 1e-15);
+        // Infinite population: FPC factor 1, never NaN.
+        let inf = match component_variance(&acc, 0.5, f64::INFINITY) {
+            Some(v) => v,
+            None => panic!("bounded"),
+        };
+        assert!((inf - 0.25 * (s2 / 4.0)).abs() < 1e-15);
+        assert!(!inf.is_nan());
+    }
+
+    #[test]
+    fn halfwidth_combines_and_propagates_unbounded() {
+        assert_eq!(halfwidth([Some(0.0), Some(0.0)]), 0.0);
+        let hw = halfwidth([Some(0.04), Some(0.05)]);
+        assert!((hw - Z_95 * 0.3).abs() < 1e-12);
+        assert!(halfwidth([Some(0.01), None]).is_infinite());
+        assert_eq!(halfwidth(std::iter::empty()), 0.0);
+        assert!(!halfwidth([Some(0.0)]).is_nan());
+    }
+
+    #[test]
+    fn stopping_rule_fires_on_either_condition() {
+        let snap = ProgressSnapshot {
+            values: vec![0.1, 0.2],
+            ci_halfwidths: vec![0.03, 0.05],
+            samples_used: 40,
+            batches_done: 4,
+        };
+        assert!((snap.max_halfwidth() - 0.05).abs() < 1e-15);
+        assert!(!StoppingRule::stream_only().should_stop(&snap));
+        assert!(StoppingRule::ci_at_most(0.05).should_stop(&snap));
+        assert!(!StoppingRule::ci_at_most(0.04).should_stop(&snap));
+        assert!(StoppingRule::max_samples(40).should_stop(&snap));
+        assert!(!StoppingRule::max_samples(41).should_stop(&snap));
+        assert!(StoppingRule::ci_at_most(0.001)
+            .and_max_samples(10)
+            .should_stop(&snap));
+    }
+
+    #[test]
+    fn infinite_halfwidth_never_satisfies_ci_rule() {
+        let snap = ProgressSnapshot {
+            values: vec![0.0],
+            ci_halfwidths: vec![f64::INFINITY],
+            samples_used: 1,
+            batches_done: 1,
+        };
+        assert!(!StoppingRule::ci_at_most(1e9).should_stop(&snap));
+        assert!(
+            !StoppingRule::ci_at_most(f64::INFINITY).should_stop(&snap),
+            "even ε = ∞ is not certified by an unbounded CI"
+        );
+        assert!(snap.max_halfwidth().is_infinite());
+    }
+}

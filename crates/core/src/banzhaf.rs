@@ -11,6 +11,9 @@
 
 use rand::Rng;
 
+use crate::anytime::{
+    component_variance, halfwidth, Control, ProgressSnapshot, StreamingOutcome, Welford,
+};
 use crate::coalition::{all_subsets, Coalition};
 use crate::utility::Utility;
 
@@ -175,6 +178,134 @@ pub fn banzhaf_pruned<U: Utility + ?Sized, R: Rng + ?Sized>(
     phi
 }
 
+/// Anytime [`banzhaf_pruned`] — the streaming variant, mirroring
+/// [`crate::ipss::ipss_streaming`]: one batch per exhaustive stratum
+/// (`∅` first), then the balanced next-stratum sample in chunks of `n`.
+/// The RNG stream, the evaluated coalitions and the fold order are those
+/// of the legacy run, so a completed schedule is bit-identical to
+/// [`banzhaf_pruned`] and a stopped run bit-equals the same-seed full
+/// run's snapshot at the same batch count.
+///
+/// CI terms follow the IPSS conventions: completed strata are exact
+/// (term 0), scheduled-but-pending strata are unbounded (`∞`), and the
+/// sampled stratum gets per-client [`Welford`] accumulators with weight
+/// `C(n−1, k*)/2^{n−1}` (the estimator scales the stratum *mean* by the
+/// stratum mass) and pair population `C(n−1, k*)`. Truncated strata
+/// contribute no term — and carry far more mass than under Shapley
+/// weights (see the [`banzhaf_pruned`] caveat), so a tight `CiAtMost`
+/// here bounds sampling noise, not truncation bias.
+pub fn banzhaf_pruned_streaming<U, R, F>(
+    u: &U,
+    gamma: usize,
+    rng: &mut R,
+    mut observe: F,
+) -> StreamingOutcome
+where
+    U: Utility + ?Sized,
+    R: Rng + ?Sized,
+    F: FnMut(&ProgressSnapshot) -> Control,
+{
+    use std::collections::HashMap;
+
+    use crate::coalition::{binom, subsets_of_size, subsets_up_to};
+    use crate::sampling::balanced_subsets_of_size;
+    use crate::utility::eval_batch_into_memo;
+    let n = u.n_clients();
+    let k_star = crate::ipss::compute_k_star(n, gamma)
+        .unwrap_or_else(|| panic!("γ = {gamma} cannot even afford U(∅)"));
+    // Phase-2 draw up front — evaluation consumes no randomness, so the
+    // stream is identical to the legacy interleaving.
+    let sampled = if k_star < n {
+        let remaining = (gamma as u128).saturating_sub(subsets_up_to(n, k_star));
+        let count = remaining.min(crate::coalition::binom_u128(n, k_star + 1)) as usize;
+        balanced_subsets_of_size(n, k_star + 1, count, rng)
+    } else {
+        Vec::new()
+    };
+
+    let chunk = n.max(1);
+    let phase2_batches = sampled.len().div_ceil(chunk);
+    let total_batches = (k_star + 1) + phase2_batches;
+
+    let mut memo: HashMap<u128, f64> = HashMap::new();
+    let mut samples_used = 0usize;
+    for b in 0..total_batches {
+        let (batch, done_size, sampled_prefix) = if b <= k_star {
+            (subsets_of_size(n, b).collect::<Vec<_>>(), b, 0usize)
+        } else {
+            let start = (b - k_star - 1) * chunk;
+            let end = (start + chunk).min(sampled.len());
+            (sampled[start..end].to_vec(), k_star, end)
+        };
+        eval_batch_into_memo(u, &batch, &mut memo);
+        samples_used += batch.len();
+        let batches_done = b + 1;
+
+        // Prefix fold — the legacy accumulation order over completed
+        // strata, then the evaluated sampled prefix.
+        let denom = (1u128 << (n - 1)) as f64;
+        let mut phi = vec![0.0f64; n];
+        for t_size in 1..=done_size {
+            for t in subsets_of_size(n, t_size) {
+                let ut = memo[&t.0];
+                for i in t.members() {
+                    phi[i] += (ut - memo[&t.without(i).0]) / denom;
+                }
+            }
+        }
+        let stratum_mass = if k_star < n {
+            binom(n - 1, k_star)
+        } else {
+            0.0
+        };
+        let mut accs: Vec<Welford> = vec![Welford::new(); n];
+        let prefix = &sampled[..sampled_prefix];
+        if !prefix.is_empty() {
+            let mut sums = vec![0.0f64; n];
+            let mut cnts = vec![0usize; n];
+            for &t in prefix {
+                let ut = memo[&t.0];
+                for i in t.members() {
+                    let contribution = ut - memo[&t.without(i).0];
+                    sums[i] += contribution;
+                    cnts[i] += 1;
+                    accs[i].push(contribution);
+                }
+            }
+            for i in 0..n {
+                if cnts[i] > 0 {
+                    phi[i] += stratum_mass * (sums[i] / cnts[i] as f64) / denom;
+                }
+            }
+        }
+        // The pair population of the sampled stratum is the same
+        // C(n−1, k*) as its mass.
+        let ci_halfwidths: Vec<f64> = (0..n)
+            .map(|i| {
+                halfwidth(
+                    (1..=k_star)
+                        .map(|t_size| if t_size <= done_size { Some(0.0) } else { None })
+                        .chain((!sampled.is_empty()).then(|| {
+                            component_variance(&accs[i], stratum_mass / denom, stratum_mass)
+                        })),
+                )
+            })
+            .collect();
+        let snapshot = ProgressSnapshot {
+            values: phi,
+            ci_halfwidths,
+            samples_used,
+            batches_done,
+        };
+        let control = observe(&snapshot);
+        let complete = b + 1 == total_batches;
+        if complete || control == Control::Stop {
+            return StreamingOutcome::from_snapshot(snapshot, !complete);
+        }
+    }
+    unreachable!("the final batch always returns")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +387,42 @@ mod tests {
         let exact = exact_banzhaf(&u);
         let err = l2_relative_error(&est, &exact);
         assert!(err > 0.3, "expected large truncation error, got {err}");
+    }
+
+    #[test]
+    fn streaming_complete_run_is_bit_identical_to_legacy() {
+        use crate::anytime::Control;
+        let u = crate::utility::HashUtility { n: 8, seed: 14 };
+        for gamma in [1usize, 9, 40, 93] {
+            let legacy = banzhaf_pruned(&u, gamma, &mut StdRng::seed_from_u64(23));
+            let out = banzhaf_pruned_streaming(&u, gamma, &mut StdRng::seed_from_u64(23), |_| {
+                Control::Continue
+            });
+            assert_eq!(out.values, legacy, "γ={gamma}");
+            assert!(!out.stopped_early);
+        }
+    }
+
+    #[test]
+    fn streaming_stopped_run_equals_full_run_prefix() {
+        use crate::anytime::Control;
+        let u = crate::utility::HashUtility { n: 8, seed: 15 };
+        let mut snapshots = Vec::new();
+        let _ = banzhaf_pruned_streaming(&u, 60, &mut StdRng::seed_from_u64(4), |s| {
+            snapshots.push(s.clone());
+            Control::Continue
+        });
+        let out = banzhaf_pruned_streaming(&u, 60, &mut StdRng::seed_from_u64(4), |s| {
+            if s.batches_done >= 4 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert!(out.stopped_early);
+        assert_eq!(out.values, snapshots[3].values);
+        assert_eq!(out.ci_halfwidths, snapshots[3].ci_halfwidths);
+        assert!(snapshots[0].ci_halfwidths.iter().all(|h| !h.is_nan()));
     }
 
     #[test]

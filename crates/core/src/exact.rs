@@ -7,6 +7,9 @@
 //! tractable for small `n`; they provide the ground truth against which the
 //! approximation algorithms are scored (the `l2` relative error of Eq. 21).
 
+use crate::anytime::{
+    component_variance, halfwidth, Control, ProgressSnapshot, StreamingOutcome, Welford,
+};
 use crate::coalition::{all_subsets, binom, Coalition};
 use crate::utility::Utility;
 
@@ -70,6 +73,129 @@ pub fn exact_mc_sv<U: Utility + ?Sized>(u: &U) -> Vec<f64> {
         }
     }
     phi
+}
+
+/// Anytime exact MC-SV — the streaming variant of [`exact_mc_sv`].
+///
+/// Evaluates the `2^n` sweep in the same `EXACT_BATCH`-sized chunks
+/// (mask order) and emits a [`ProgressSnapshot`] after each chunk. The
+/// mid-sweep estimate is the stratified-mean prefix fold of
+/// [`crate::service::partial_prefix_fold`] — the same partial the
+/// service returns on a deadline — and the *complete* sweep runs the
+/// legacy weighted fold verbatim, so a finished run is bit-identical to
+/// [`exact_mc_sv`].
+///
+/// CI terms: every stratum is scheduled, so a stratum with no evaluated
+/// pairs yet keeps the half-width at `∞`; mask order reaches the full
+/// coalition last, so a `CiAtMost` rule effectively cannot fire before
+/// completion (when all half-widths collapse to 0 through the
+/// finite-population correction). The exact sweep is therefore not the
+/// early-stopping vehicle — use `MaxSamples` to budget it, or a sampling
+/// estimator to converge early.
+pub fn exact_mc_sv_streaming<U, F>(u: &U, observe: F) -> StreamingOutcome
+where
+    U: Utility + ?Sized,
+    F: FnMut(&ProgressSnapshot) -> Control,
+{
+    exact_mc_sv_streaming_with_batch(u, EXACT_BATCH, observe)
+}
+
+/// [`exact_mc_sv_streaming`] with an explicit chunk size (test hook —
+/// the production path always uses [`EXACT_BATCH`]).
+pub(crate) fn exact_mc_sv_streaming_with_batch<U, F>(
+    u: &U,
+    batch_size: usize,
+    mut observe: F,
+) -> StreamingOutcome
+where
+    U: Utility + ?Sized,
+    F: FnMut(&ProgressSnapshot) -> Control,
+{
+    let n = u.n_clients();
+    assert!(n >= 1, "need at least one client");
+    assert!(n <= 24, "exact computation enumerates 2^n coalitions");
+    assert!(batch_size >= 1);
+    let total = 1usize << n;
+    let mut evaluated: Vec<(Coalition, f64)> = Vec::with_capacity(total);
+    let mut batches_done = 0usize;
+    let mut start = 0usize;
+    while start < total {
+        let end = (start + batch_size).min(total);
+        let batch: Vec<Coalition> = (start..end).map(|m| Coalition(m as u128)).collect();
+        let values = u.eval_batch(&batch);
+        evaluated.extend(batch.iter().copied().zip(values));
+        start = end;
+        batches_done += 1;
+        let complete = start == total;
+        let snapshot = exact_prefix_snapshot(n, &evaluated, complete, batches_done);
+        let control = observe(&snapshot);
+        if complete || control == Control::Stop {
+            return StreamingOutcome::from_snapshot(snapshot, !complete);
+        }
+    }
+    unreachable!("the final chunk always returns")
+}
+
+/// Prefix snapshot of the exact sweep. In mask order `T\{i}` always
+/// precedes `T`, so every evaluated non-empty coalition contributes all
+/// of its marginals; the evaluated prefix is exactly masks
+/// `0..evaluated.len()`, indexable directly.
+fn exact_prefix_snapshot(
+    n: usize,
+    evaluated: &[(Coalition, f64)],
+    complete: bool,
+    batches_done: usize,
+) -> ProgressSnapshot {
+    let values = if complete {
+        // The legacy fold, verbatim — bit-identical to [`exact_mc_sv`].
+        let mut phi = vec![0.0; n];
+        let inv_n = 1.0 / n as f64;
+        let inv_binom: Vec<f64> = (0..n).map(|s| 1.0 / binom(n - 1, s)).collect();
+        for t in all_subsets(n) {
+            if t.is_empty() {
+                continue;
+            }
+            let ut = evaluated[t.0 as usize].1;
+            let w = inv_n * inv_binom[t.size() - 1];
+            for i in t.members() {
+                let us = evaluated[t.without(i).0 as usize].1;
+                phi[i] += (ut - us) * w;
+            }
+        }
+        phi
+    } else {
+        crate::service::partial_prefix_fold(n, evaluated)
+    };
+
+    let mut accs = vec![vec![Welford::new(); n]; n]; // accs[i][|t|-1]
+    for &(t, ut) in evaluated {
+        if t.is_empty() {
+            continue;
+        }
+        let k = t.size() - 1;
+        for i in t.members() {
+            let us = evaluated[t.without(i).0 as usize].1;
+            accs[i][k].push(ut - us);
+        }
+    }
+    let inv_n = 1.0 / n as f64;
+    let ci_halfwidths: Vec<f64> = accs
+        .iter()
+        .map(|client| {
+            halfwidth(
+                client
+                    .iter()
+                    .enumerate()
+                    .map(|(k, acc)| component_variance(acc, inv_n, binom(n - 1, k))),
+            )
+        })
+        .collect();
+    ProgressSnapshot {
+        values,
+        ci_halfwidths,
+        samples_used: evaluated.len(),
+        batches_done,
+    }
 }
 
 /// Exact CC-SV (Def. 4):
@@ -239,6 +365,57 @@ mod tests {
         let phi = exact_mc_sv(&u);
         assert!((phi[0] - 0.7).abs() < 1e-12);
         assert_close(&phi, &exact_perm_sv(&u), 1e-12);
+    }
+
+    #[test]
+    fn streaming_complete_run_is_bit_identical_to_legacy() {
+        let u = HashUtility { n: 6, seed: 44 };
+        let legacy = exact_mc_sv(&u);
+        // Production chunk size (single batch) and a tiny chunk size
+        // (nine batches) must both land on the legacy fold exactly.
+        for batch_size in [EXACT_BATCH, 7] {
+            let mut snapshots = Vec::new();
+            let out = exact_mc_sv_streaming_with_batch(&u, batch_size, |s| {
+                snapshots.push(s.clone());
+                Control::Continue
+            });
+            assert_eq!(out.values, legacy, "batch_size={batch_size}");
+            assert!(!out.stopped_early);
+            // Full enumeration: the finite-population correction zeroes
+            // every CI term.
+            assert!(out.ci_halfwidths.iter().all(|&h| h == 0.0));
+            for w in snapshots.windows(2) {
+                assert!(w[0].samples_used < w[1].samples_used);
+            }
+            assert!(snapshots
+                .iter()
+                .all(|s| s.ci_halfwidths.iter().all(|h| !h.is_nan())));
+        }
+    }
+
+    #[test]
+    fn streaming_stopped_run_equals_full_run_prefix() {
+        let u = HashUtility { n: 6, seed: 45 };
+        let mut snapshots = Vec::new();
+        let _ = exact_mc_sv_streaming_with_batch(&u, 10, |s| {
+            snapshots.push(s.clone());
+            Control::Continue
+        });
+        let out = exact_mc_sv_streaming_with_batch(&u, 10, |s| {
+            if s.batches_done >= 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert!(out.stopped_early);
+        assert_eq!(out.values, snapshots[2].values);
+        assert_eq!(out.samples_used, snapshots[2].samples_used);
+        // The mid-sweep estimate is the service's partial fold.
+        let prefix: Vec<(Coalition, f64)> = (0..out.samples_used)
+            .map(|m| (Coalition(m as u128), u.eval(Coalition(m as u128))))
+            .collect();
+        assert_eq!(out.values, crate::service::partial_prefix_fold(6, &prefix));
     }
 
     #[test]

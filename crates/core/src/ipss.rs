@@ -17,10 +17,15 @@
 //! Theorem 3 bounds the relative error by `O((n−k*)/(k*·n·t))` under the FL
 //! linear-regression model — see `fedval-theory` for the closed forms.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::HashMap;
 
 use rand::Rng;
 
+use crate::anytime::{
+    component_variance, halfwidth, Control, ProgressSnapshot, StreamingOutcome, Welford,
+};
 use crate::coalition::{binom, binom_u128, subsets_of_size, subsets_up_to, Coalition};
 use crate::sampling::balanced_subsets_of_size;
 use crate::utility::{eval_batch_into_memo, Utility};
@@ -153,6 +158,187 @@ pub fn ipss_values<U: Utility + ?Sized, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<f64> {
     ipss(u, cfg, rng).values
+}
+
+/// Anytime Alg. 3 — the streaming variant of [`ipss`].
+///
+/// The batch schedule is the legacy one: each exhaustive stratum of size
+/// `0..=k*` is one batch, then the balanced phase-2 sample is evaluated
+/// in chunks of `n` coalitions (the legacy run evaluates it as a single
+/// batch; chunking changes batch composition only, and evaluation is
+/// pure per coalition mask, so every value is unchanged). The RNG stream
+/// is identical to [`ipss`] with the same seed.
+///
+/// After each batch the prefix estimate is recomputed from scratch with
+/// the lines-15–17 fold restricted to completed strata plus the
+/// evaluated phase-2 prefix — so a completed schedule is bit-identical
+/// to [`ipss`] and a stopped run bit-equals the same-seed full run's
+/// snapshot at the same batch count (the determinism contract).
+///
+/// CI terms: a completed exhaustive stratum is enumerated, not sampled
+/// — its term is exactly 0; a *scheduled but pending* stratum is
+/// unbounded (`∞`, never NaN), which deliberately prevents a
+/// `CiAtMost` rule from firing mid-phase-1; the phase-2 stratum gets a
+/// per-client [`Welford`] accumulator with finite-population correction
+/// over its `C(n−1, k*)` pairs. Truncated strata above `k*+1` are out
+/// of scope by construction (the pruning bias of Theorem 3) and
+/// contribute no term.
+pub fn ipss_streaming<U, R, F>(
+    u: &U,
+    cfg: &IpssConfig,
+    rng: &mut R,
+    mut observe: F,
+) -> StreamingOutcome
+where
+    U: Utility + ?Sized,
+    R: Rng + ?Sized,
+    F: FnMut(&ProgressSnapshot) -> Control,
+{
+    let n = u.n_clients();
+    assert!(n >= 1);
+    let k_star = compute_k_star(n, cfg.gamma)
+        .unwrap_or_else(|| panic!("γ = {} cannot even afford U(∅)", cfg.gamma));
+    let exhaustive = subsets_up_to(n, k_star);
+    // The phase-2 draw is the only consumer of randomness, so drawing it
+    // up front leaves the RNG stream identical to the legacy run.
+    let sampled = if k_star < n {
+        let remaining = (cfg.gamma as u128 - exhaustive).min(binom_u128(n, k_star + 1));
+        balanced_subsets_of_size(n, k_star + 1, remaining as usize, rng)
+    } else {
+        Vec::new()
+    };
+
+    let chunk = n.max(1);
+    let phase2_batches = sampled.len().div_ceil(chunk);
+    let total_batches = (k_star + 1) + phase2_batches;
+
+    let mut memo = ValueMemo::new();
+    let mut samples_used = 0usize;
+    let mut batches_done = 0usize;
+    for b in 0..total_batches {
+        let (batch, done_size, sampled_prefix) = if b <= k_star {
+            (subsets_of_size(n, b).collect::<Vec<_>>(), b, 0usize)
+        } else {
+            let start = (b - k_star - 1) * chunk;
+            let end = (start + chunk).min(sampled.len());
+            (sampled[start..end].to_vec(), k_star, end)
+        };
+        eval_batch_into_memo(u, &batch, &mut memo);
+        samples_used += batch.len();
+        batches_done += 1;
+        let snapshot = ipss_prefix_snapshot(
+            n,
+            k_star,
+            done_size,
+            &sampled,
+            sampled_prefix,
+            cfg.weighting,
+            &memo,
+            samples_used,
+            batches_done,
+        );
+        let control = observe(&snapshot);
+        let complete = b + 1 == total_batches;
+        if complete || control == Control::Stop {
+            return StreamingOutcome::from_snapshot(snapshot, !complete);
+        }
+    }
+    unreachable!("the final batch always returns")
+}
+
+/// The canonical prefix fold of Alg. 3 lines 15–17 plus its CI,
+/// restricted to the `done_size` completed exhaustive strata and the
+/// first `sampled_prefix` phase-2 coalitions. Over the complete
+/// schedule this is bit-identical to [`estimate`] (same pairs, same
+/// accumulation order).
+#[allow(clippy::too_many_arguments)]
+fn ipss_prefix_snapshot(
+    n: usize,
+    k_star: usize,
+    done_size: usize,
+    sampled: &[Coalition],
+    sampled_prefix: usize,
+    weighting: IpssWeighting,
+    memo: &ValueMemo,
+    samples_used: usize,
+    batches_done: usize,
+) -> ProgressSnapshot {
+    let value = |s: Coalition| -> f64 { memo[&s.0] };
+    let mut phi = vec![0.0f64; n];
+    let inv_n = 1.0 / n as f64;
+    let inv_binom: Vec<f64> = (0..n).map(|s| 1.0 / binom(n - 1, s)).collect();
+
+    // Completed exhaustive strata — the lines 15-17 loop, verbatim.
+    for t_size in 1..=done_size {
+        for t in subsets_of_size(n, t_size) {
+            let ut = value(t);
+            let w = inv_n * inv_binom[t_size - 1];
+            for i in t.members() {
+                phi[i] += (ut - value(t.without(i))) * w;
+            }
+        }
+    }
+
+    // Evaluated phase-2 prefix (the schedule guarantees phase 1 is
+    // complete before any of it lands).
+    let mut accs: Vec<Welford> = vec![Welford::new(); n];
+    let prefix = &sampled[..sampled_prefix];
+    if !prefix.is_empty() {
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0usize; n];
+        for &t in prefix {
+            let ut = value(t);
+            for i in t.members() {
+                let contribution = ut - value(t.without(i));
+                sums[i] += contribution;
+                counts[i] += 1;
+                accs[i].push(contribution);
+            }
+        }
+        match weighting {
+            IpssWeighting::StratifiedMean => {
+                for i in 0..n {
+                    if counts[i] > 0 {
+                        phi[i] += inv_n * sums[i] / counts[i] as f64;
+                    }
+                }
+            }
+            IpssWeighting::PaperLiteral => {
+                let w = inv_n * inv_binom[k_star];
+                for i in 0..n {
+                    phi[i] += sums[i] * w;
+                }
+            }
+        }
+    }
+
+    let population_p2 = binom(n - 1, k_star); // pairs t ∋ i, |t| = k*+1
+    let ci_halfwidths: Vec<f64> = (0..n)
+        .map(|i| {
+            halfwidth(
+                (1..=k_star)
+                    .map(|t_size| if t_size <= done_size { Some(0.0) } else { None })
+                    .chain((!sampled.is_empty()).then(|| {
+                        let weight = match weighting {
+                            IpssWeighting::StratifiedMean => inv_n,
+                            // var(w'·Σ) = (w'·m)²·s²/m — the estimator is a
+                            // weighted *sum*, not a mean.
+                            IpssWeighting::PaperLiteral => {
+                                inv_n * inv_binom[k_star] * accs[i].count() as f64
+                            }
+                        };
+                        component_variance(&accs[i], weight, population_p2)
+                    })),
+            )
+        })
+        .collect();
+
+    ProgressSnapshot {
+        values: phi,
+        ci_halfwidths,
+        samples_used,
+        batches_done,
+    }
 }
 
 /// Lines 15–17: MC-SV restricted to the evaluated coalitions.
@@ -458,6 +644,81 @@ mod tests {
             let got = ipss_values(&par, &cfg, &mut StdRng::seed_from_u64(77));
             assert_eq!(got, serial, "thread count {threads}");
         }
+    }
+
+    #[test]
+    fn streaming_complete_run_is_bit_identical_to_legacy() {
+        use crate::anytime::Control;
+        let u = HashUtility { n: 8, seed: 5 };
+        for (gamma, weighting) in [
+            (40usize, IpssWeighting::StratifiedMean),
+            (40, IpssWeighting::PaperLiteral),
+            (9, IpssWeighting::StratifiedMean), // phase 1 exactly exhausts γ
+            (1, IpssWeighting::StratifiedMean), // ∅ only
+        ] {
+            let cfg = IpssConfig::new(gamma).with_weighting(weighting);
+            let legacy = ipss_values(&u, &cfg, &mut StdRng::seed_from_u64(31));
+            let mut snapshots = Vec::new();
+            let out = ipss_streaming(&u, &cfg, &mut StdRng::seed_from_u64(31), |s| {
+                snapshots.push(s.clone());
+                Control::Continue
+            });
+            assert_eq!(out.values, legacy, "γ={gamma} {weighting:?}");
+            assert!(!out.stopped_early);
+            for w in snapshots.windows(2) {
+                assert!(w[0].samples_used <= w[1].samples_used);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_stopped_run_equals_full_run_prefix() {
+        use crate::anytime::Control;
+        let u = HashUtility { n: 8, seed: 7 };
+        let cfg = IpssConfig::new(60);
+        let mut snapshots = Vec::new();
+        let _ = ipss_streaming(&u, &cfg, &mut StdRng::seed_from_u64(2), |s| {
+            snapshots.push(s.clone());
+            Control::Continue
+        });
+        for stop_after in [1usize, 3, snapshots.len() - 1] {
+            let out = ipss_streaming(&u, &cfg, &mut StdRng::seed_from_u64(2), |s| {
+                if s.batches_done >= stop_after {
+                    Control::Stop
+                } else {
+                    Control::Continue
+                }
+            });
+            assert!(out.stopped_early);
+            let want = &snapshots[stop_after - 1];
+            assert_eq!(out.values, want.values, "stop_after={stop_after}");
+            assert_eq!(out.ci_halfwidths, want.ci_halfwidths);
+            assert_eq!(out.samples_used, want.samples_used);
+        }
+    }
+
+    #[test]
+    fn streaming_ci_is_unbounded_during_phase_one_and_finite_in_phase_two() {
+        use crate::anytime::Control;
+        let u = HashUtility { n: 8, seed: 9 };
+        // γ = 92: k* = 2 (1+8+28 = 37 ≤ 92 < 93), 55 phase-2 samples of
+        // size 3 in chunks of n = 8.
+        let cfg = IpssConfig::new(92);
+        let mut widths = Vec::new();
+        let out = ipss_streaming(&u, &cfg, &mut StdRng::seed_from_u64(6), |s| {
+            widths.push(s.max_halfwidth());
+            Control::Continue
+        });
+        // Phase-1 batches (strata 0, 1, 2): pending strata keep CI at ∞.
+        assert!(widths[..3].iter().all(|w| w.is_infinite()), "{widths:?}");
+        // The first phase-2 chunk covers every client 3 times (balanced
+        // draw), so the CI is already finite there, and near-complete
+        // coverage shrinks it further through the finite-population
+        // correction.
+        assert!(widths[3].is_finite(), "{widths:?}");
+        let last = out.ci_halfwidths.iter().cloned().fold(0.0f64, f64::max);
+        assert!(last.is_finite() && last < widths[3], "{widths:?}");
+        assert!(widths.iter().all(|w| !w.is_nan()));
     }
 
     #[test]

@@ -46,6 +46,7 @@
 //! assert!(err < 0.5);
 //! ```
 
+pub mod anytime;
 pub mod banzhaf;
 pub mod baselines;
 pub mod coalition;
@@ -64,30 +65,36 @@ pub mod valuation;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::banzhaf::{banzhaf_msr, banzhaf_pruned, exact_banzhaf, BanzhafConfig};
+    pub use crate::anytime::{
+        Control, ProgressSnapshot, StoppingRule, StreamingOutcome, Welford, Z_95,
+    };
+    pub use crate::banzhaf::{
+        banzhaf_msr, banzhaf_pruned, banzhaf_pruned_streaming, exact_banzhaf, BanzhafConfig,
+    };
     pub use crate::baselines::{
         cc_shapley, extended_gtb, extended_gtb_values, extended_tmc, CcShapConfig, GtbConfig,
         TmcConfig,
     };
     pub use crate::coalition::{binom, binom_u128, subsets_up_to, Coalition};
-    pub use crate::exact::{exact_cc_sv, exact_mc_sv, exact_perm_sv};
+    pub use crate::exact::{exact_cc_sv, exact_mc_sv, exact_mc_sv_streaming, exact_perm_sv};
     pub use crate::fault::{FaultyUtility, InjectedFault, PERSISTENT};
     pub use crate::ipss::{
-        compute_k_star, ipss, ipss_adaptive, ipss_values, AdaptiveIpssConfig, IpssConfig,
-        IpssWeighting,
+        compute_k_star, ipss, ipss_adaptive, ipss_streaming, ipss_values, AdaptiveIpssConfig,
+        IpssConfig, IpssWeighting,
     };
     pub use crate::kgreedy::{k_greedy, k_greedy_evaluations};
     pub use crate::loo::leave_one_out;
     pub use crate::metrics::{
         kendall_tau, l2_relative_error, max_abs_error, pareto_front, property_error,
     };
-    pub use crate::owen::{owen_sampling, OwenConfig};
+    pub use crate::owen::{owen_sampling, owen_sampling_streaming, OwenConfig};
     pub use crate::service::{
         partial_prefix_fold, Estimator, FlushWindow, LimitPolicy, RetryPolicy, RunStats,
         ServiceStats, Ticket, ValuationError, ValuationRequest, ValuationResponse, ValuationServer,
     };
     pub use crate::stratified::{
-        stratified_sampling, stratified_sampling_values, Scheme, StratifiedConfig,
+        stratified_sampling, stratified_sampling_streaming, stratified_sampling_values, Scheme,
+        StratifiedConfig,
     };
     pub use crate::utility::{
         AdditiveUtility, CachedUtility, EvalStats, HashUtility, NoisyUtility, ParallelUtility,

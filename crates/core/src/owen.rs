@@ -13,6 +13,9 @@ use std::collections::{HashMap, HashSet};
 
 use rand::Rng;
 
+use crate::anytime::{
+    component_variance, halfwidth, Control, ProgressSnapshot, StreamingOutcome, Welford,
+};
 use crate::coalition::Coalition;
 use crate::utility::Utility;
 
@@ -100,6 +103,177 @@ pub fn owen_sampling<U: Utility + ?Sized, R: Rng + ?Sized>(
         }
     }
     phi
+}
+
+/// Anytime Owen sampling — the streaming variant of [`owen_sampling`].
+///
+/// Draws the entire `q`-grid schedule up front (the RNG stream is
+/// identical to the non-streaming run with the same seed), then
+/// evaluates it in **round-robin** rounds: round `r` evaluates draw `r`
+/// of *every* grid node (plus its antithetic partner when enabled),
+/// together with their single-flip neighbourhoods, deduplicated against
+/// everything already evaluated. Because every sample informs every
+/// client (the shared-sample trick), per-client CIs become finite after
+/// two draws per node — Owen is the natural early-stopping vehicle.
+///
+/// After each round the canonical prefix fold is recomputed from
+/// scratch — per-node means over the prefix in draw order, then the
+/// trapezoid rule in node order, exactly the legacy operation order —
+/// so a completed schedule is bit-identical to [`owen_sampling`] and a
+/// stopped run bit-equals the same-seed full run's snapshot at the same
+/// round (the determinism contract).
+///
+/// CI terms treat each node's per-sample contributions as i.i.d.
+/// ([`Welford`] per `(client, node)`, trapezoid weight, infinite
+/// population — draws are with replacement). Under antithetic pairing
+/// this ignores the negative pair covariance and is therefore
+/// conservative (never too narrow).
+pub fn owen_sampling_streaming<U, R, F>(
+    u: &U,
+    cfg: &OwenConfig,
+    rng: &mut R,
+    mut observe: F,
+) -> StreamingOutcome
+where
+    U: Utility + ?Sized,
+    R: Rng + ?Sized,
+    F: FnMut(&ProgressSnapshot) -> Control,
+{
+    let n = u.n_clients();
+    assert!(n >= 1);
+    assert!(cfg.q_nodes >= 2 && cfg.samples_per_node >= 1);
+    // Identical draws (and RNG consumption) to the non-streaming run:
+    // node-major, each draw immediately followed by its complement when
+    // antithetic.
+    let per_draw = if cfg.antithetic { 2 } else { 1 };
+    let mut samples: Vec<Vec<Coalition>> = Vec::with_capacity(cfg.q_nodes);
+    for node in 0..cfg.q_nodes {
+        let q = node as f64 / (cfg.q_nodes - 1) as f64;
+        let mut node_samples: Vec<Coalition> = Vec::with_capacity(cfg.samples_per_node * per_draw);
+        for _ in 0..cfg.samples_per_node {
+            let mut mask = 0u128;
+            for i in 0..n {
+                if rng.random::<f64>() < q {
+                    mask |= 1 << i;
+                }
+            }
+            node_samples.push(Coalition(mask));
+            if cfg.antithetic {
+                node_samples.push(Coalition(mask).complement(n));
+            }
+        }
+        samples.push(node_samples);
+    }
+
+    let mut memo: HashMap<u128, f64> = HashMap::new();
+    let mut samples_used = 0usize;
+    for r in 0..cfg.samples_per_node {
+        let mut batch: Vec<Coalition> = Vec::new();
+        let mut seen: HashSet<u128> = HashSet::new();
+        {
+            let mut push = |s: Coalition| {
+                if !memo.contains_key(&s.0) && seen.insert(s.0) {
+                    batch.push(s);
+                }
+            };
+            for node_samples in &samples {
+                for &s in &node_samples[r * per_draw..(r + 1) * per_draw] {
+                    push(s);
+                    for i in 0..n {
+                        push(if s.contains(i) {
+                            s.without(i)
+                        } else {
+                            s.with(i)
+                        });
+                    }
+                }
+            }
+        }
+        let values = u.eval_batch(&batch);
+        for (s, v) in batch.iter().zip(values) {
+            memo.insert(s.0, v);
+        }
+        samples_used += batch.len();
+        let prefix = (r + 1) * per_draw;
+        let snapshot = owen_prefix_snapshot(n, cfg, &samples, &memo, prefix, samples_used, r + 1);
+        let control = observe(&snapshot);
+        let complete = r + 1 == cfg.samples_per_node;
+        if complete || control == Control::Stop {
+            return StreamingOutcome::from_snapshot(snapshot, !complete);
+        }
+    }
+    unreachable!("the final round always returns")
+}
+
+/// The canonical prefix fold of Owen sampling plus its CI: per-node
+/// means over the first `prefix` samples in draw order, then the
+/// trapezoid rule in node order. Over the complete schedule this is
+/// bit-identical to the [`owen_sampling`] fold (same contributions,
+/// same accumulation order; evaluation is pure per coalition mask, so
+/// the cross-node memo cannot change any value).
+fn owen_prefix_snapshot(
+    n: usize,
+    cfg: &OwenConfig,
+    samples: &[Vec<Coalition>],
+    memo: &HashMap<u128, f64>,
+    prefix: usize,
+    samples_used: usize,
+    batches_done: usize,
+) -> ProgressSnapshot {
+    let mut node_means = vec![vec![0.0f64; n]; cfg.q_nodes];
+    let mut accs = vec![vec![Welford::new(); cfg.q_nodes]; n]; // accs[i][node]
+    for (node, node_samples) in samples.iter().enumerate() {
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0usize; n];
+        for &s in &node_samples[..prefix.min(node_samples.len())] {
+            let base = memo[&s.0];
+            for i in 0..n {
+                let contribution = if s.contains(i) {
+                    base - memo[&s.without(i).0]
+                } else {
+                    memo[&s.with(i).0] - base
+                };
+                sums[i] += contribution;
+                counts[i] += 1;
+                accs[i][node].push(contribution);
+            }
+        }
+        for (mean, (&sum, &count)) in node_means[node].iter_mut().zip(sums.iter().zip(&counts)) {
+            *mean = if count > 0 { sum / count as f64 } else { 0.0 };
+        }
+    }
+    // Trapezoid rule over the q grid — the legacy loop, verbatim.
+    let h = 1.0 / (cfg.q_nodes - 1) as f64;
+    let node_weight = |node: usize| {
+        if node == 0 || node == cfg.q_nodes - 1 {
+            h / 2.0
+        } else {
+            h
+        }
+    };
+    let mut values = vec![0.0f64; n];
+    for (node, means) in node_means.iter().enumerate() {
+        let weight = node_weight(node);
+        for (p, m) in values.iter_mut().zip(means) {
+            *p += weight * m;
+        }
+    }
+    let ci_halfwidths: Vec<f64> =
+        accs.iter()
+            .map(|node_accs| {
+                halfwidth(
+                    node_accs.iter().enumerate().map(|(node, acc)| {
+                        component_variance(acc, node_weight(node), f64::INFINITY)
+                    }),
+                )
+            })
+            .collect();
+    ProgressSnapshot {
+        values,
+        ci_halfwidths,
+        samples_used,
+        batches_done,
+    }
 }
 
 /// Evaluate every coalition the accumulation pass will touch — each sample
@@ -222,6 +396,70 @@ mod tests {
         let a = owen_sampling(&u, &cfg, &mut StdRng::seed_from_u64(9));
         let b = owen_sampling(&u, &cfg, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_complete_run_is_bit_identical_to_legacy() {
+        let u = SaturatingUtility::uniform(6, 0.1, 0.8, 0.8);
+        for cfg in [
+            OwenConfig::new(5, 6),
+            OwenConfig::new(4, 5).with_antithetic(),
+        ] {
+            let legacy = owen_sampling(&u, &cfg, &mut StdRng::seed_from_u64(17));
+            let mut snapshots = Vec::new();
+            let out = owen_sampling_streaming(&u, &cfg, &mut StdRng::seed_from_u64(17), |s| {
+                snapshots.push(s.clone());
+                crate::anytime::Control::Continue
+            });
+            assert_eq!(out.values, legacy, "antithetic={}", cfg.antithetic);
+            assert!(!out.stopped_early);
+            assert_eq!(out.batches_done, cfg.samples_per_node);
+            for w in snapshots.windows(2) {
+                assert!(w[0].samples_used <= w[1].samples_used);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_stopped_run_equals_full_run_prefix() {
+        let u = SaturatingUtility::uniform(5, 0.1, 0.7, 0.9);
+        let cfg = OwenConfig::new(5, 8);
+        let mut snapshots = Vec::new();
+        let _ = owen_sampling_streaming(&u, &cfg, &mut StdRng::seed_from_u64(3), |s| {
+            snapshots.push(s.clone());
+            crate::anytime::Control::Continue
+        });
+        // Stop after round 3: bit-equal to the unstopped run's snapshot.
+        let out = owen_sampling_streaming(&u, &cfg, &mut StdRng::seed_from_u64(3), |s| {
+            if s.batches_done >= 3 {
+                crate::anytime::Control::Stop
+            } else {
+                crate::anytime::Control::Continue
+            }
+        });
+        assert!(out.stopped_early);
+        assert_eq!(out.values, snapshots[2].values);
+        assert_eq!(out.ci_halfwidths, snapshots[2].ci_halfwidths);
+        assert_eq!(out.samples_used, snapshots[2].samples_used);
+    }
+
+    #[test]
+    fn streaming_ci_becomes_finite_and_shrinks() {
+        let u = SaturatingUtility::uniform(6, 0.1, 0.8, 0.8);
+        let cfg = OwenConfig::new(5, 40);
+        let mut widths = Vec::new();
+        let out = owen_sampling_streaming(&u, &cfg, &mut StdRng::seed_from_u64(11), |s| {
+            widths.push(s.max_halfwidth());
+            crate::anytime::Control::Continue
+        });
+        // Round 1 has a single draw per node: CI must be unbounded, not NaN.
+        assert!(widths[0].is_infinite());
+        // Every sample informs every client, so two draws suffice for a
+        // finite CI, and 40 draws shrink it well below the early width.
+        assert!(widths[1].is_finite(), "{widths:?}");
+        let last = out.ci_halfwidths.iter().cloned().fold(0.0f64, f64::max);
+        assert!(last < widths[1] / 2.0, "{widths:?}");
+        assert!(widths.iter().all(|w| !w.is_nan()));
     }
 
     #[test]

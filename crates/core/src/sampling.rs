@@ -1,6 +1,8 @@
 //! Uniform and balanced sampling of coalitions, shared by the stratified
 //! framework (Alg. 1), IPSS (Alg. 3) and the sampling baselines.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::HashSet;
 
 use rand::seq::SliceRandom;

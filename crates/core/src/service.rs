@@ -129,14 +129,17 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::banzhaf::banzhaf_pruned;
+use crate::anytime::{Control, ProgressSnapshot, StoppingRule, StreamingOutcome};
+use crate::banzhaf::{banzhaf_pruned, banzhaf_pruned_streaming};
 use crate::coalition::Coalition;
-use crate::exact::{exact_cc_sv, exact_mc_sv};
+use crate::exact::{exact_cc_sv, exact_mc_sv, exact_mc_sv_streaming};
 use crate::fault::quiet;
-use crate::ipss::{ipss_values, IpssConfig};
+use crate::ipss::{ipss_streaming, ipss_values, IpssConfig};
 use crate::loo::leave_one_out;
-use crate::owen::{owen_sampling, OwenConfig};
-use crate::stratified::{stratified_sampling_values, Scheme, StratifiedConfig};
+use crate::owen::{owen_sampling, owen_sampling_streaming, OwenConfig};
+use crate::stratified::{
+    stratified_sampling_streaming, stratified_sampling_values, Scheme, StratifiedConfig,
+};
 use crate::utility::{CachedUtility, EvalStats, TrajCacheStats, Utility};
 
 /// Which valuation estimator a [`ValuationRequest`] runs. Every variant
@@ -291,6 +294,14 @@ pub struct ValuationRequest {
     pub max_evals: Option<usize>,
     /// What to do when `deadline` or `max_evals` fires.
     pub on_limit: LimitPolicy,
+    /// Run the estimator's *streaming* fold and stop early once this
+    /// rule is satisfied at a batch boundary (`None` = classic fixed-
+    /// budget run). Streaming runs emit [`ProgressSnapshot`] events on
+    /// the ticket ([`Ticket::progress`]) and attach the final snapshot
+    /// to the response; the determinism contract guarantees a stopped
+    /// run's values bit-equal the same-seed full run's snapshot at the
+    /// same batch count.
+    pub stopping: Option<StoppingRule>,
 }
 
 impl ValuationRequest {
@@ -304,6 +315,7 @@ impl ValuationRequest {
             deadline: None,
             max_evals: None,
             on_limit: LimitPolicy::default(),
+            stopping: None,
         }
     }
 
@@ -330,6 +342,15 @@ impl ValuationRequest {
         self.on_limit = policy;
         self
     }
+
+    /// Run the streaming fold under `rule`, emitting progress snapshots
+    /// and stopping early once the rule fires at a batch boundary.
+    /// `StoppingRule::stream_only()` streams progress without ever
+    /// stopping early.
+    pub fn with_stopping(mut self, rule: StoppingRule) -> Self {
+        self.stopping = Some(rule);
+        self
+    }
 }
 
 /// Per-run batching statistics, attached to every [`ValuationResponse`].
@@ -347,6 +368,10 @@ pub struct RunStats {
     /// The run hit its deadline or evaluation cap and the response holds
     /// the partial-prefix fold instead of the estimator's full output.
     pub partial: bool,
+    /// A streaming run's [`StoppingRule`] fired before the schedule
+    /// completed; the values are the (bit-reproducible) prefix estimate
+    /// at the stopping batch. Always `false` for non-streaming runs.
+    pub stopped_early: bool,
     /// Direct retries this run performed after poisoned flushes.
     pub retries: usize,
     /// Longest time one of this run's batches spent at the coalescer
@@ -403,14 +428,33 @@ pub struct ValuationResponse {
     pub run: RunStats,
     /// Service-wide statistics snapshotted at completion.
     pub service: ServiceStats,
+    /// The final [`ProgressSnapshot`] of a streaming run (equal to the
+    /// last event the ticket streamed, values bit-identical to `values`).
+    /// `None` for non-streaming requests.
+    pub progress: Option<ProgressSnapshot>,
 }
 
 /// A pending response ([`ValuationServer::submit`]).
 pub struct Ticket {
     rx: mpsc::Receiver<Result<ValuationResponse, ValuationError>>,
+    progress_rx: mpsc::Receiver<ProgressSnapshot>,
 }
 
 impl Ticket {
+    /// Drain the progress events a *streaming* request has emitted so
+    /// far (empty for non-streaming requests and between batches).
+    /// Snapshots arrive in batch order — `samples_used` is monotone
+    /// non-decreasing — and the last snapshot a completed run emits
+    /// equals the response's [`ValuationResponse::progress`]. Designed
+    /// to interleave with [`Ticket::wait_timeout`] in a poll loop.
+    pub fn progress(&self) -> Vec<ProgressSnapshot> {
+        let mut out = Vec::new();
+        while let Ok(s) = self.progress_rx.try_recv() {
+            out.push(s);
+        }
+        out
+    }
+
     /// Block until the request resolves — with its response, or with the
     /// typed error describing why it could not be served.
     pub fn wait(self) -> Result<ValuationResponse, ValuationError> {
@@ -853,12 +897,13 @@ impl<U: Utility + Send + Sync> RunUtility<U> {
         Coalition::from_members(s.members().map(|j| self.members[j]))
     }
 
-    fn run_stats(&self, partial: bool) -> RunStats {
+    fn run_stats(&self, partial: bool, stopped_early: bool) -> RunStats {
         RunStats {
             batches: self.batches.load(Ordering::Relaxed) as usize,
             coalitions: self.coalitions.load(Ordering::Relaxed) as usize,
             coalesced_batches: self.coalesced.load(Ordering::Relaxed) as usize,
             partial,
+            stopped_early,
             retries: self.retries.load(Ordering::Relaxed) as usize,
             park_wait_max: Duration::from_nanos(self.park_wait_max_ns.load(Ordering::Relaxed)),
         }
@@ -996,8 +1041,86 @@ fn dispatch<V: Utility + Send + Sync>(req: &ValuationRequest, u: &RunUtility<V>)
     }
 }
 
+/// Run the requested estimator's *streaming* fold: every batch-boundary
+/// snapshot is forwarded to the ticket's progress channel, and `rule`
+/// decides whether to stop. Stopping is a clean [`Control::Stop`] return
+/// at a batch boundary — no panic, no unwinding — so it composes with
+/// the deadline/budget checkpoints (which still fire through the
+/// [`RunUtility`] facade) and with coalescing, caching and retries
+/// unchanged.
+///
+/// `ExactCc` and `Loo` have no incremental fold (a CC pair needs the
+/// complement, evaluated half a sweep later; LOO is `n + 1` evaluations
+/// total). They run the legacy estimator and emit one final snapshot
+/// with zero half-widths — both are enumerations, not samplers — so the
+/// "final snapshot equals the response" contract holds uniformly.
+fn dispatch_streaming<V: Utility + Send + Sync>(
+    req: &ValuationRequest,
+    u: &RunUtility<V>,
+    rule: StoppingRule,
+    progress: &mpsc::Sender<ProgressSnapshot>,
+) -> StreamingOutcome {
+    let n = u.n_clients();
+    let mut rng = StdRng::seed_from_u64(req.seed);
+    let observe = |s: &ProgressSnapshot| {
+        let _ = progress.send(s.clone()); // ticket may have been dropped
+        if rule.should_stop(s) {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    };
+    match req.estimator {
+        Estimator::ExactMc => exact_mc_sv_streaming(u, observe),
+        Estimator::Ipss => {
+            assert!(req.budget >= 1, "IPSS needs a budget of at least 1");
+            ipss_streaming(u, &IpssConfig::new(req.budget), &mut rng, observe)
+        }
+        Estimator::StratifiedMc => stratified_sampling_streaming(
+            u,
+            Scheme::MarginalContribution,
+            &StratifiedConfig::uniform(n, req.budget),
+            &mut rng,
+            observe,
+        ),
+        Estimator::StratifiedCc => stratified_sampling_streaming(
+            u,
+            Scheme::ComplementaryContribution,
+            &StratifiedConfig::uniform(n, req.budget),
+            &mut rng,
+            observe,
+        ),
+        Estimator::Owen => {
+            let q_nodes = 4usize;
+            let per_node = (req.budget / (q_nodes * (n + 1))).max(1);
+            owen_sampling_streaming(u, &OwenConfig::new(q_nodes, per_node), &mut rng, observe)
+        }
+        Estimator::BanzhafPruned => {
+            assert!(
+                req.budget >= 1,
+                "pruned Banzhaf needs a budget of at least 1"
+            );
+            banzhaf_pruned_streaming(u, req.budget, &mut rng, observe)
+        }
+        Estimator::ExactCc | Estimator::Loo => {
+            let values = match req.estimator {
+                Estimator::ExactCc => exact_cc_sv(u),
+                _ => leave_one_out(u),
+            };
+            let snapshot = ProgressSnapshot {
+                ci_halfwidths: vec![0.0; values.len()],
+                values,
+                samples_used: u.coalitions.load(Ordering::Relaxed) as usize,
+                batches_done: u.batches.load(Ordering::Relaxed) as usize,
+            };
+            let _ = progress.send(snapshot.clone());
+            StreamingOutcome::from_snapshot(snapshot, false)
+        }
+    }
+}
+
 type Reply = mpsc::Sender<Result<ValuationResponse, ValuationError>>;
-type Job = (ValuationRequest, Reply);
+type Job = (ValuationRequest, Reply, mpsc::Sender<ProgressSnapshot>);
 
 /// The long-lived multi-valuation server — see the [module docs](self)
 /// for the coalescing design and failure model. Construct with
@@ -1095,7 +1218,7 @@ fn dispatcher_loop<U: Utility + Send + Sync + 'static>(
             burst.push(job);
         }
         if shared.is_shutdown() {
-            for (_request, reply) in burst {
+            for (_request, reply, _progress) in burst {
                 let _ = reply.send(Err(ValuationError::ServerShutdown));
             }
             continue;
@@ -1107,10 +1230,10 @@ fn dispatcher_loop<U: Utility + Send + Sync + 'static>(
                 RunGuard(Arc::clone(&shared))
             })
             .collect();
-        for ((request, reply), guard) in burst.into_iter().zip(guards) {
+        for ((request, reply, progress), guard) in burst.into_iter().zip(guards) {
             let shared = Arc::clone(&shared);
             workers.push(thread::spawn(move || {
-                serve_one(shared, request, reply, guard)
+                serve_one(shared, request, reply, progress, guard)
             }));
         }
         workers.retain(|w| !w.is_finished());
@@ -1127,6 +1250,7 @@ fn serve_one<U: Utility + Send + Sync>(
     shared: Arc<Shared<U>>,
     request: ValuationRequest,
     reply: Reply,
+    progress: mpsc::Sender<ProgressSnapshot>,
     guard: RunGuard<U>,
 ) {
     let start = Instant::now();
@@ -1166,21 +1290,40 @@ fn serve_one<U: Utility + Send + Sync>(
         retries: AtomicU64::new(0),
         park_wait_max_ns: AtomicU64::new(0),
     };
-    let outcome = quiet::catch_quiet(|| dispatch(&request, &run));
+    let outcome = quiet::catch_quiet(|| match request.stopping {
+        Some(rule) => {
+            let out = dispatch_streaming(&request, &run, rule, &progress);
+            let stopped_early = out.stopped_early;
+            let snapshot = ProgressSnapshot {
+                values: out.values,
+                ci_halfwidths: out.ci_halfwidths,
+                samples_used: out.samples_used,
+                batches_done: out.batches_done,
+            };
+            (snapshot.values.clone(), Some(snapshot), stopped_early)
+        }
+        None => (dispatch(&request, &run), None, false),
+    });
     let wall_time = start.elapsed();
     drop(guard); // deregister before snapshotting stats
     shared.requests_done.fetch_add(1, Ordering::Relaxed);
 
-    let respond = |values: Vec<f64>, partial: bool| ValuationResponse {
+    let respond = |values: Vec<f64>,
+                   partial: bool,
+                   progress: Option<ProgressSnapshot>,
+                   stopped_early: bool| ValuationResponse {
         clients: run.members.clone(),
         values,
         wall_time,
-        run: run.run_stats(partial),
+        run: run.run_stats(partial, stopped_early),
         service: shared.stats(),
         request: request.clone(),
+        progress,
     };
     let result = match outcome {
-        Ok(values) => Ok(respond(values, false)),
+        Ok((values, snapshot, stopped_early)) => {
+            Ok(respond(values, false, snapshot, stopped_early))
+        }
         Err(payload) => match payload.downcast::<ServiceAbort>() {
             Ok(reason) => match (*reason, request.on_limit) {
                 (ServiceAbort::Fault(e), _) => Err(e),
@@ -1189,7 +1332,12 @@ fn serve_one<U: Utility + Send + Sync>(
                     LimitPolicy::Partial,
                 ) => {
                     let log = run.log.lock().unwrap_or_else(PoisonError::into_inner);
-                    Ok(respond(partial_prefix_fold(run.members.len(), &log), true))
+                    Ok(respond(
+                        partial_prefix_fold(run.members.len(), &log),
+                        true,
+                        None,
+                        false,
+                    ))
                 }
                 (ServiceAbort::Deadline { deadline, elapsed }, LimitPolicy::Fail) => {
                     Err(ValuationError::DeadlineExceeded { deadline, elapsed })
@@ -1240,15 +1388,16 @@ impl<U: Utility + Send + Sync + 'static> ValuationServer<U> {
     /// [`ValuationError::ServerShutdown`].
     pub fn submit(&self, request: ValuationRequest) -> Ticket {
         let (tx, rx) = mpsc::channel();
+        let (progress_tx, progress_rx) = mpsc::channel();
         let delivered = self
             .tx
             .as_ref()
-            .map(|jobs| jobs.send((request, tx.clone())).is_ok())
+            .map(|jobs| jobs.send((request, tx.clone(), progress_tx)).is_ok())
             .unwrap_or(false);
         if !delivered {
             let _ = tx.send(Err(ValuationError::ServerShutdown));
         }
-        Ticket { rx }
+        Ticket { rx, progress_rx }
     }
 
     /// Submit and wait — the blocking single-request convenience.
@@ -1475,6 +1624,129 @@ mod tests {
         match stats.traj {
             Some(traj) => assert_eq!(traj.probes, 5),
             None => panic!("traj source installed but not surfaced"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn streaming_ticket_snapshots_are_monotone_and_end_at_the_response() {
+        // Satellite: `Ticket::wait_timeout` under streaming — drain
+        // progress in a poll loop, check monotonicity in samples_used,
+        // and check the final snapshot equals the returned response.
+        let server = ValuationServer::start(HashUtility { n: 7, seed: 3 });
+        let ticket = server.submit(
+            ValuationRequest::new(Estimator::Owen, 640, 5)
+                .with_stopping(StoppingRule::stream_only()),
+        );
+        let mut snapshots: Vec<ProgressSnapshot> = Vec::new();
+        let result = loop {
+            snapshots.extend(ticket.progress());
+            if let Some(result) = ticket.wait_timeout(Duration::from_millis(20)) {
+                break result;
+            }
+        };
+        snapshots.extend(ticket.progress()); // events sent before the reply
+        let resp = ok(result);
+        assert!(!snapshots.is_empty());
+        for w in snapshots.windows(2) {
+            assert!(
+                w[0].samples_used <= w[1].samples_used,
+                "snapshots must be monotone in samples_used"
+            );
+        }
+        let last = match snapshots.last() {
+            Some(s) => s,
+            None => panic!("no snapshots"),
+        };
+        assert_eq!(last.values, resp.values, "final snapshot == response");
+        assert_eq!(resp.progress.as_ref(), Some(last));
+        assert!(!resp.run.stopped_early, "stream_only never stops early");
+        server.shutdown();
+    }
+
+    #[test]
+    fn ci_stopped_run_is_a_bit_identical_prefix_of_the_full_run() {
+        // The determinism contract through the service: a CiAtMost-stopped
+        // run's values bit-equal the full run's snapshot at the same
+        // samples_used, and stopping spends strictly fewer evaluations.
+        let full_server = ValuationServer::start(HashUtility { n: 7, seed: 9 });
+        let full_ticket = full_server.submit(
+            ValuationRequest::new(Estimator::Owen, 1280, 21)
+                .with_stopping(StoppingRule::stream_only()),
+        );
+        let full = loop {
+            if let Some(result) = full_ticket.wait_timeout(Duration::from_millis(50)) {
+                break ok(result);
+            }
+        };
+        let full_snapshots = full_ticket.progress();
+        full_server.shutdown();
+
+        // Stop at twice the full run's final width — reachable early.
+        let eps = full
+            .progress
+            .as_ref()
+            .map(|s| s.max_halfwidth() * 2.0)
+            .unwrap_or(f64::INFINITY);
+        let server = ValuationServer::start(HashUtility { n: 7, seed: 9 });
+        let resp = ok(server.call(
+            ValuationRequest::new(Estimator::Owen, 1280, 21)
+                .with_stopping(StoppingRule::ci_at_most(eps)),
+        ));
+        server.shutdown();
+        assert!(resp.run.stopped_early, "eps = {eps} should fire early");
+        let stopped_at = match resp.progress.as_ref() {
+            Some(s) => s.samples_used,
+            None => panic!("streaming response must carry a snapshot"),
+        };
+        let twin = full_snapshots.iter().find(|s| s.samples_used == stopped_at);
+        match twin {
+            Some(s) => assert_eq!(resp.values, s.values, "bit-identical prefix"),
+            None => panic!("no full-run snapshot at samples_used = {stopped_at}"),
+        }
+        assert!(
+            stopped_at < full.progress.map(|s| s.samples_used).unwrap_or(0),
+            "stopping must save evaluations"
+        );
+    }
+
+    #[test]
+    fn max_samples_rule_caps_a_streaming_run() {
+        let server = ValuationServer::start(HashUtility { n: 6, seed: 2 });
+        let resp = ok(server.call(
+            ValuationRequest::new(Estimator::StratifiedMc, 60, 4)
+                .with_stopping(StoppingRule::max_samples(20)),
+        ));
+        assert!(resp.run.stopped_early);
+        match resp.progress {
+            Some(s) => assert!(s.samples_used >= 20, "fires at the boundary"),
+            None => panic!("streaming response must carry a snapshot"),
+        }
+        // Non-streaming twin for contrast: classic path, no snapshot.
+        let classic = ok(server.call(ValuationRequest::new(Estimator::StratifiedMc, 60, 4)));
+        assert!(classic.progress.is_none());
+        assert!(!classic.run.stopped_early);
+        server.shutdown();
+    }
+
+    #[test]
+    fn streaming_exact_cc_and_loo_emit_one_final_snapshot() {
+        let server = ValuationServer::start(TableUtility::paper_table1());
+        for estimator in [Estimator::ExactCc, Estimator::Loo] {
+            let ticket = server.submit(
+                ValuationRequest::new(estimator, 0, 0)
+                    .with_stopping(StoppingRule::ci_at_most(1e-3)),
+            );
+            let resp = loop {
+                if let Some(result) = ticket.wait_timeout(Duration::from_millis(50)) {
+                    break ok(result);
+                }
+            };
+            let events = ticket.progress();
+            assert_eq!(events.len(), 1, "{estimator:?}");
+            assert_eq!(events[0].values, resp.values);
+            assert!(events[0].ci_halfwidths.iter().all(|&h| h == 0.0));
+            assert!(!resp.run.stopped_early, "enumerations never stop early");
         }
         server.shutdown();
     }

@@ -11,8 +11,8 @@
 //! round 0, plus any later-round coincidence) are paid once per cache
 //! lifetime — and, with a byte budget, within a bounded memory envelope.
 //! FL training batches are the heaviest in the codebase, so the config
-//! also exposes the server's bounded-latency [`FlushWindow`] triggers
-//! (`fedval_core::service::FlushWindow`): a slow FedAvg run then delays a
+//! also exposes the server's bounded-latency
+//! [`FlushWindow`](fedval_core::service::FlushWindow) triggers: a slow FedAvg run then delays a
 //! fast peer's parked batch by at most `flush_max_wait`.
 //!
 //! ```no_run

@@ -19,6 +19,26 @@ use fedval_core::stratified::{stratified_sampling_values, Scheme, StratifiedConf
 use fedval_core::utility::Utility;
 use fedval_data::rand_ext::standard_normal;
 
+/// The running per-stratum mean/variance accumulators behind the anytime
+/// CI (re-exported from `fedval_core::anytime`, where the streaming
+/// estimators consume them — the dependency points core → theory, so the
+/// implementation cannot live here).
+///
+/// Two distinct variances meet in this module and must not be confused:
+///
+/// * [`analytic_var_mc`]/[`analytic_var_cc`] (Eqs. 9–10) are variances
+///   over **training noise** — the `e_j` draws of Eq. 8, with the
+///   coalition sample held fixed;
+/// * the [`Welford`]/[`component_variance`] accumulators measure the
+///   variance over **coalition sampling** — the Alg. 1 draws, with the
+///   training realisation held fixed. On one [`TrainingErrorUtility`]
+///   realisation the MC scheme's per-pair contribution is *constant*
+///   (the additive cancellation that powers Theorem 2), so its sampling
+///   variance is exactly zero while Eq. 9 is positive.
+pub use fedval_core::anytime::{
+    component_variance, halfwidth, ProgressSnapshot, StoppingRule, StreamingOutcome, Welford, Z_95,
+};
+
 /// Analytic variance of the MC-SV estimator for client `i` (Eq. 9) under
 /// the linear model: each stratum contributes `|D_i|²σ²/(n²·m_{i,k}²)` per
 /// sampled pair, i.e. `Σ_k |D_i|²σ²/(n²·m_k)` with `m_k` pairs per stratum.
@@ -166,6 +186,126 @@ mod tests {
         assert!((v01 - (v0 + v1)).abs() < 1e-12);
         assert!(v0 < 0.0);
         assert_eq!(u.eval(Coalition::empty()), 0.0);
+    }
+
+    #[test]
+    fn welford_agrees_with_two_pass_variance_on_estimator_runs() {
+        // The running accumulator behind the anytime CI must reproduce
+        // the two-pass variance the Fig. 10 bench uses, on real
+        // estimator output rather than synthetic sequences.
+        let sizes = vec![25usize; 5];
+        let cfg = StratifiedConfig::uniform(5, 15);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut first_client = Vec::with_capacity(60);
+        let mut acc = Welford::new();
+        for run in 0..60 {
+            let mut draw_rng = StdRng::seed_from_u64(500 + run as u64);
+            let u = TrainingErrorUtility::draw(&sizes, 1.0, 0.5, &mut draw_rng);
+            let v = stratified_sampling_values(&u, Scheme::MarginalContribution, &cfg, &mut rng)[0];
+            first_client.push(v);
+            acc.push(v);
+        }
+        let two_pass = variance(&first_client);
+        let running = match acc.sample_variance() {
+            Some(v) => v,
+            None => panic!("60 pushes must yield a variance"),
+        };
+        assert!(
+            (running - two_pass).abs() <= 1e-12 * two_pass.max(1.0),
+            "Welford {running} vs two-pass {two_pass}"
+        );
+    }
+
+    #[test]
+    fn mc_sampling_ci_collapses_to_zero_on_a_training_realisation() {
+        // Satellite guard, against the Theorem 2 cancellation: on one
+        // TrainingErrorUtility realisation the utility is additive, so
+        // every matched MC pair contributes a constant — per-stratum
+        // sampling variance is *identically zero*. The CI math must turn
+        // that into half-width 0 (never NaN from a 0/0), even though the
+        // training-noise variance of Eq. 9 is positive.
+        use fedval_core::anytime::Control;
+        use fedval_core::stratified::stratified_sampling_streaming;
+        let mut rng = StdRng::seed_from_u64(11);
+        let u = TrainingErrorUtility::draw(&[10, 20, 30, 40], 1.0, 0.5, &mut rng);
+        assert!(analytic_var_mc(4, &[10, 20, 30, 40], 0.25, 2, 0) > 0.0);
+        // Full coverage: every stratum of n = 4 fits in 8 rounds.
+        let cfg = StratifiedConfig::uniform(4, 32);
+        let mut saw_nan = false;
+        let out = stratified_sampling_streaming(
+            &u,
+            Scheme::MarginalContribution,
+            &cfg,
+            &mut StdRng::seed_from_u64(1),
+            |s| {
+                saw_nan |= s.ci_halfwidths.iter().any(|h| h.is_nan());
+                Control::Continue
+            },
+        );
+        assert!(!saw_nan, "zero-variance strata must not divide 0/0");
+        assert_eq!(out.ci_halfwidths, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn single_sample_strata_keep_the_ci_unbounded_not_nan() {
+        // Satellite guard: one sample per stratum (m = 1) cannot bound
+        // the stratum's variance — the convention is ∞, never NaN — and
+        // the CC scheme keeps a genuinely positive sampling variance on
+        // the same realisation where MC's is zero.
+        use fedval_core::anytime::Control;
+        use fedval_core::stratified::stratified_sampling_streaming;
+        let mut rng = StdRng::seed_from_u64(21);
+        let sizes = [30usize, 30, 30, 30, 30];
+        let u = TrainingErrorUtility::draw(&sizes, 1.0, 0.5, &mut rng);
+        let cfg = StratifiedConfig::explicit(vec![1; 5]);
+        let out = stratified_sampling_streaming(
+            &u,
+            Scheme::MarginalContribution,
+            &cfg,
+            &mut StdRng::seed_from_u64(2),
+            |_| Control::Continue,
+        );
+        assert!(out.ci_halfwidths.iter().all(|&h| h.is_infinite()));
+        assert!(out.values.iter().all(|v| v.is_finite()));
+
+        // CC contrast (Theorem 2's ordering, in sampling-CI form): cover
+        // strata 1, 4, 5 fully and 9 of 10 coalitions in strata 2 and 3,
+        // so every per-client pair count lands in 2..=pop (finite CI)
+        // while the one missing coalition keeps some count below its
+        // population — a genuinely positive CC term survives the FPC.
+        let cfg = StratifiedConfig::explicit(vec![5, 9, 9, 5, 1]);
+        let cc = stratified_sampling_streaming(
+            &u,
+            Scheme::ComplementaryContribution,
+            &cfg,
+            &mut StdRng::seed_from_u64(3),
+            |_| Control::Continue,
+        );
+        let mc = stratified_sampling_streaming(
+            &u,
+            Scheme::MarginalContribution,
+            &cfg,
+            &mut StdRng::seed_from_u64(3),
+            |_| Control::Continue,
+        );
+        for (c, m) in cc.ci_halfwidths.iter().zip(&mc.ci_halfwidths) {
+            assert!(!c.is_nan() && !m.is_nan());
+            // MC's finite half-widths vanish on an additive game (up to
+            // the float rounding of summing the coalition in two orders).
+            if m.is_finite() {
+                assert!(*m < 1e-9, "MC sampling CI should collapse: {m}");
+            }
+        }
+        let cc_max_finite = cc
+            .ci_halfwidths
+            .iter()
+            .filter(|h| h.is_finite())
+            .fold(0.0f64, |a, &b| a.max(b));
+        assert!(
+            cc_max_finite > 1e-6,
+            "CC must see positive sampling variance: {:?}",
+            cc.ci_halfwidths
+        );
     }
 
     #[test]
