@@ -238,8 +238,9 @@ fn run_anytime(
         let h_full = full
             .progress
             .as_ref()
-            .map(|s| s.max_halfwidth())
-            .expect("streaming response carries a snapshot");
+            .expect("streaming response carries a snapshot")
+            .max_halfwidth()
+            .unwrap_or(f64::INFINITY);
         out.fixed_samples.push(samples(&full));
         // Matched target: both runs certify CI ≤ 2·h_full; the anytime
         // run stops at the first batch boundary that reaches it.
@@ -290,6 +291,162 @@ fn anytime_json(a: &Anytime) -> String {
         percentile(&a.stopped_samples, 99.0),
         a.saved_factor(),
         a.stopped_early,
+    )
+}
+
+/// A symmetric heteroscedastic game for the adaptive section: the value
+/// depends on the coalition *size* only, with hash noise confined to
+/// sizes 1–2. Owen contributions are then identical across clients (no
+/// between-client spread to confuse the planner's pooled variances)
+/// while their per-draw variance concentrates at the low-`q` grid nodes:
+/// the `q = 0` and `q = 1` nodes draw a constant coalition size and are
+/// exactly noiseless, the low-`q` interior node straddles the noisy
+/// sizes and carries nearly all of the spread — the regime Neyman
+/// allocation exists for.
+struct SizeNoisyUtility {
+    n: usize,
+}
+
+impl fedval_core::utility::Utility for SizeNoisyUtility {
+    fn n_clients(&self) -> usize {
+        self.n
+    }
+    fn eval(&self, s: fedval_core::coalition::Coalition) -> f64 {
+        let base = s.size() as f64 * 0.5;
+        if (1..=2).contains(&s.size()) {
+            // splitmix-style size hash: deterministic, seed-free noise.
+            let mut x = (s.size() as u64) ^ 0x9E37_79B9_7F4A_7C15;
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            base + (x as f64 / u64::MAX as f64 - 0.5) * 0.6
+        } else {
+            base
+        }
+    }
+}
+
+/// Uniform vs adaptive (Neyman re-planned) stratified MC at a matched CI
+/// target, over seeds, on the heteroscedastic game.
+struct AdaptiveBench {
+    n_clients: usize,
+    budget: usize,
+    seeds: usize,
+    uniform_samples: Vec<f64>,
+    adaptive_samples: Vec<f64>,
+    /// Final cumulative per-stratum draw counts of the first seed's
+    /// adaptive run — the allocation trace the planner converged to.
+    final_allocation: Vec<usize>,
+}
+
+impl AdaptiveBench {
+    fn saved_factor(&self) -> f64 {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        mean(&self.uniform_samples) / mean(&self.adaptive_samples).max(1.0)
+    }
+}
+
+/// For each seed: derive the target CI from a full uniform run (exactly
+/// the half-width its whole budget certifies), then race the uniform and
+/// the adaptive schedule to that target under `CiAtMost` and compare
+/// `samples_used` — "the evaluations needed to match what the uniform
+/// budget buys". Drives the streaming estimators directly: the steering
+/// question is about the schedule, and an 8-node grid separates the
+/// noisy low-q nodes from the noiseless rest far better than the
+/// service's fixed 4-node derivation.
+fn run_adaptive_bench(n: usize, q_nodes: usize, per_node: usize, seeds: usize) -> AdaptiveBench {
+    use fedval_core::adaptive::AdaptivePolicy;
+    use fedval_core::anytime::{Control, StoppingRule};
+    use fedval_core::owen::{owen_sampling_streaming, owen_sampling_streaming_adaptive};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let u = SizeNoisyUtility { n };
+    let cfg = fedval_core::owen::OwenConfig::new(q_nodes, per_node);
+    // Per-client CIs need two observations per node before they go
+    // finite, so the exploration floor must keep feeding each node until
+    // two draws (2·n pooled contributions) have landed.
+    let policy = AdaptivePolicy {
+        min_observations: 2 * n,
+        ..AdaptivePolicy::default()
+    };
+    let mut out = AdaptiveBench {
+        n_clients: n,
+        budget: q_nodes * per_node * (n + 1),
+        seeds,
+        uniform_samples: Vec::new(),
+        adaptive_samples: Vec::new(),
+        final_allocation: Vec::new(),
+    };
+    for seed in 0..seeds as u64 {
+        // Derive the target from a *different* seed than the raced runs:
+        // a same-seed uniform race would retrace the very trajectory the
+        // target came from and stop at its first favourable dip, biasing
+        // the comparison toward uniform.
+        let full =
+            owen_sampling_streaming(&u, &cfg, &mut StdRng::seed_from_u64(0xE0 + seed), |_| {
+                Control::Continue
+            });
+        let eps = full.ci_halfwidths.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(eps.is_finite(), "the full run must certify a CI");
+        let rule = StoppingRule::ci_at_most(eps);
+        let race = |s: &fedval_core::anytime::ProgressSnapshot| {
+            if rule.should_stop(s) {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        };
+        let uniform =
+            owen_sampling_streaming(&u, &cfg, &mut StdRng::seed_from_u64(0xB0 + seed), race);
+        out.uniform_samples.push(uniform.samples_used as f64);
+        let adaptive = owen_sampling_streaming_adaptive(
+            &u,
+            &cfg,
+            &policy,
+            &mut StdRng::seed_from_u64(0xB0 + seed),
+            race,
+        );
+        out.adaptive_samples.push(adaptive.samples_used as f64);
+        if seed == 0 {
+            out.final_allocation = adaptive
+                .allocation
+                .expect("adaptive outcome carries the allocation");
+        }
+    }
+    out
+}
+
+fn print_adaptive(a: &AdaptiveBench) {
+    println!(
+        "adaptive owen         n {:2} budget {:4}  uniform p50 {:6.0} p99 {:6.0}  \
+         adaptive p50 {:6.0} p99 {:6.0}  saved {:.2}x  final allocation {:?}",
+        a.n_clients,
+        a.budget,
+        percentile(&a.uniform_samples, 50.0),
+        percentile(&a.uniform_samples, 99.0),
+        percentile(&a.adaptive_samples, 50.0),
+        percentile(&a.adaptive_samples, 99.0),
+        a.saved_factor(),
+        a.final_allocation,
+    );
+}
+
+fn adaptive_json(a: &AdaptiveBench) -> String {
+    let alloc: Vec<String> = a.final_allocation.iter().map(usize::to_string).collect();
+    format!(
+        "{{\"estimator\": \"owen\", \"n_clients\": {}, \"budget\": {}, \"seeds\": {}, \
+         \"uniform_samples_p50\": {:.1}, \"uniform_samples_p99\": {:.1}, \
+         \"adaptive_samples_p50\": {:.1}, \"adaptive_samples_p99\": {:.1}, \
+         \"evals_saved_factor\": {:.4}, \"final_allocation\": [{}]}}",
+        a.n_clients,
+        a.budget,
+        a.seeds,
+        percentile(&a.uniform_samples, 50.0),
+        percentile(&a.uniform_samples, 99.0),
+        percentile(&a.adaptive_samples, 50.0),
+        percentile(&a.adaptive_samples, 99.0),
+        a.saved_factor(),
+        alloc.join(", "),
     )
 }
 
@@ -392,10 +549,23 @@ fn main() {
         owen.saved_factor()
     );
 
+    // Adaptive section: uniform vs Neyman-re-planned Owen racing to the
+    // same CI target on a heteroscedastic game (noise confined to the
+    // small coalition sizes, so the low-q grid nodes carry nearly all
+    // the contribution variance). Same per-node depth as the anytime
+    // Owen workload: 16 draws/node.
+    let adaptive = run_adaptive_bench(10, 8, 16, seeds);
+    print_adaptive(&adaptive);
+    assert!(
+        adaptive.saved_factor() >= 1.5,
+        "adaptive allocation must save >= 1.5x evaluations at a matched CI, got {:.2}x",
+        adaptive.saved_factor()
+    );
+
     let path = std::env::var("FEDVAL_SERVICE_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR")));
     let report = format!(
-        "{{\n  \"bench\": \"service_throughput\",\n  \"scenario\": \"6 valuation requests (exact MC/CC, IPSS, stratified MC, Owen, LOO) over one FedAvg utility: fresh server per request (solo) vs one server at 1 (sequential) and N (concurrent) requests in flight, plus concurrent under a {window_ms} ms bounded-latency flush window (windowed), plus fixed-budget vs CiAtMost-stopped anytime runs at a matched CI target\",\n  \"n_clients\": {n},\n  \"requests\": {r},\n  \"flush_window_ms\": {window_ms},\n  {},\n  \"solo\": {},\n  \"sequential\": {},\n  \"concurrent\": {},\n  \"windowed\": {},\n  \"dedup_factor_models\": {dedup_models:.4},\n  \"dedup_factor_local_trainings\": {dedup_trainings:.4},\n  \"values_bit_identical\": {identical},\n  \"anytime\": [\n    {},\n    {}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"service_throughput\",\n  \"scenario\": \"6 valuation requests (exact MC/CC, IPSS, stratified MC, Owen, LOO) over one FedAvg utility: fresh server per request (solo) vs one server at 1 (sequential) and N (concurrent) requests in flight, plus concurrent under a {window_ms} ms bounded-latency flush window (windowed), plus fixed-budget vs CiAtMost-stopped anytime runs at a matched CI target, plus uniform vs Neyman-adaptive Owen schedules racing to a matched CI on a heteroscedastic game\",\n  \"n_clients\": {n},\n  \"requests\": {r},\n  \"flush_window_ms\": {window_ms},\n  {},\n  \"solo\": {},\n  \"sequential\": {},\n  \"concurrent\": {},\n  \"windowed\": {},\n  \"dedup_factor_models\": {dedup_models:.4},\n  \"dedup_factor_local_trainings\": {dedup_trainings:.4},\n  \"values_bit_identical\": {identical},\n  \"anytime\": [\n    {},\n    {}\n  ],\n  \"adaptive\": {}\n}}\n",
         fedval_bench::parallelism_json_fields(),
         mode_json(&solo, r),
         mode_json(&sequential, r),
@@ -403,6 +573,7 @@ fn main() {
         mode_json(&windowed, r),
         anytime_json(&owen),
         anytime_json(&stratified),
+        adaptive_json(&adaptive),
         window_ms = WINDOW.as_millis(),
     );
     let mut file = std::fs::File::create(&path).expect("create BENCH_service.json");

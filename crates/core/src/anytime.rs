@@ -152,12 +152,31 @@ pub struct ProgressSnapshot {
     pub samples_used: usize,
     /// Batches flushed so far.
     pub batches_done: usize,
+    /// Cumulative per-component draw counts of an adaptive run (per
+    /// stratum for Alg. 1, per grid node for Owen, per client frame for
+    /// IPSS phase 2). `None` for fixed-schedule runs. Part of the
+    /// adaptive determinism contract: the sequence of allocations is a
+    /// pure function of (seed, snapshot history), so it is identical at
+    /// any thread count or coalescing interleaving.
+    pub allocation: Option<Vec<usize>>,
 }
 
 impl ProgressSnapshot {
     /// The widest client CI — what [`StoppingRule::ci_at_most`] tests.
-    pub fn max_halfwidth(&self) -> f64 {
-        self.ci_halfwidths.iter().fold(0.0f64, |a, &b| a.max(b))
+    ///
+    /// `None` when the snapshot carries no values at all (nothing to
+    /// certify); ∞-propagating otherwise — a single unbounded client
+    /// makes the result `∞`. Half-widths are never NaN by construction
+    /// ([`halfwidth`] only produces `Z_95·√(Σ terms ≥ 0)` or `∞`), so
+    /// the fold never has to arbitrate a NaN comparison.
+    pub fn max_halfwidth(&self) -> Option<f64> {
+        self.ci_halfwidths
+            .iter()
+            .copied()
+            .fold(None, |acc, h| match acc {
+                Some(a) => Some(a.max(h)),
+                None => Some(h),
+            })
     }
 }
 
@@ -221,10 +240,12 @@ impl StoppingRule {
     pub fn should_stop(&self, snapshot: &ProgressSnapshot) -> bool {
         if let Some(eps) = self.ci_at_most {
             // An unbounded half-width certifies nothing: it never
-            // satisfies a CI target, even ε = ∞.
-            let h = snapshot.max_halfwidth();
-            if h.is_finite() && h <= eps {
-                return true;
+            // satisfies a CI target, even ε = ∞. An empty snapshot
+            // (no clients) certifies trivially.
+            match snapshot.max_halfwidth() {
+                Some(h) if h.is_finite() && h <= eps => return true,
+                None => return true,
+                _ => {}
             }
         }
         if let Some(m) = self.max_samples {
@@ -252,6 +273,10 @@ pub struct StreamingOutcome {
     pub samples_used: usize,
     /// Batches flushed.
     pub batches_done: usize,
+    /// Final cumulative per-component draw counts of an adaptive run
+    /// (`None` for fixed schedules) — mirrors
+    /// [`ProgressSnapshot::allocation`].
+    pub allocation: Option<Vec<usize>>,
     /// The stopping rule fired before the schedule completed.
     pub stopped_early: bool,
 }
@@ -264,6 +289,7 @@ impl StreamingOutcome {
             ci_halfwidths: snapshot.ci_halfwidths,
             samples_used: snapshot.samples_used,
             batches_done: snapshot.batches_done,
+            allocation: snapshot.allocation,
             stopped_early,
         }
     }
@@ -370,8 +396,9 @@ mod tests {
             ci_halfwidths: vec![0.03, 0.05],
             samples_used: 40,
             batches_done: 4,
+            allocation: None,
         };
-        assert!((snap.max_halfwidth() - 0.05).abs() < 1e-15);
+        assert_eq!(snap.max_halfwidth(), Some(0.05));
         assert!(!StoppingRule::stream_only().should_stop(&snap));
         assert!(StoppingRule::ci_at_most(0.05).should_stop(&snap));
         assert!(!StoppingRule::ci_at_most(0.04).should_stop(&snap));
@@ -389,12 +416,35 @@ mod tests {
             ci_halfwidths: vec![f64::INFINITY],
             samples_used: 1,
             batches_done: 1,
+            allocation: None,
         };
         assert!(!StoppingRule::ci_at_most(1e9).should_stop(&snap));
         assert!(
             !StoppingRule::ci_at_most(f64::INFINITY).should_stop(&snap),
             "even ε = ∞ is not certified by an unbounded CI"
         );
-        assert!(snap.max_halfwidth().is_infinite());
+        assert!(snap.max_halfwidth().is_some_and(f64::is_infinite));
+    }
+
+    #[test]
+    fn max_halfwidth_conventions() {
+        let snap = |widths: Vec<f64>| ProgressSnapshot {
+            values: vec![0.0; widths.len()],
+            ci_halfwidths: widths,
+            samples_used: 0,
+            batches_done: 0,
+            allocation: None,
+        };
+        // Empty values: nothing to certify, `None`.
+        assert_eq!(snap(vec![]).max_halfwidth(), None);
+        // All-zero widths survive as an exact Some(0.0), not None.
+        assert_eq!(snap(vec![0.0, 0.0]).max_halfwidth(), Some(0.0));
+        // ∞ propagates over any finite widths.
+        let inf = snap(vec![0.01, f64::INFINITY, 0.3]).max_halfwidth();
+        assert!(inf.is_some_and(f64::is_infinite));
+        // The fold is NaN-free over the values halfwidth() can produce.
+        let h = snap(vec![0.0, 0.25, f64::INFINITY]).max_halfwidth();
+        assert!(h.is_some_and(|x| !x.is_nan()));
+        assert_eq!(snap(vec![0.3, 0.1]).max_halfwidth(), Some(0.3));
     }
 }

@@ -9,6 +9,8 @@
 //! and its maximum-sample-reuse estimator makes every sampled coalition
 //! inform *every* client's value.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::Rng;
 
 use crate::anytime::{
@@ -296,6 +298,7 @@ where
             ci_halfwidths,
             samples_used,
             batches_done,
+            allocation: None,
         };
         let control = observe(&snapshot);
         let complete = b + 1 == total_batches;

@@ -7,6 +7,8 @@
 //! tractable for small `n`; they provide the ground truth against which the
 //! approximation algorithms are scored (the `l2` relative error of Eq. 21).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::anytime::{
     component_variance, halfwidth, Control, ProgressSnapshot, StreamingOutcome, Welford,
 };
@@ -195,6 +197,7 @@ fn exact_prefix_snapshot(
         ci_halfwidths,
         samples_used: evaluated.len(),
         batches_done,
+        allocation: None,
     }
 }
 

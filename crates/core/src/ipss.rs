@@ -23,11 +23,12 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
+use crate::adaptive::{AdaptivePolicy, AllocationPlanner, ComponentState};
 use crate::anytime::{
     component_variance, halfwidth, Control, ProgressSnapshot, StreamingOutcome, Welford,
 };
 use crate::coalition::{binom, binom_u128, subsets_of_size, subsets_up_to, Coalition};
-use crate::sampling::balanced_subsets_of_size;
+use crate::sampling::{balanced_subsets_of_size, weighted_balanced_subsets_extending};
 use crate::utility::{eval_batch_into_memo, Utility};
 
 /// Internal memo of evaluated coalition values, keyed by mask.
@@ -226,12 +227,13 @@ where
         eval_batch_into_memo(u, &batch, &mut memo);
         samples_used += batch.len();
         batches_done += 1;
-        let snapshot = ipss_prefix_snapshot(
+        let (snapshot, _accs) = ipss_prefix_snapshot(
             n,
             k_star,
             done_size,
             &sampled,
             sampled_prefix,
+            sampled.len(),
             cfg.weighting,
             &memo,
             samples_used,
@@ -246,11 +248,153 @@ where
     unreachable!("the final batch always returns")
 }
 
+/// Adaptive Alg. 3 — [`ipss_streaming`] with the phase-2 coverage
+/// re-planned at every round by Neyman allocation instead of spreading
+/// it uniformly over the clients.
+///
+/// Phase 1 is untouched (it is exhaustive — there is nothing to steer).
+/// Phase 2 draws its `γ − Σ_{j≤k*} C(n,j)` coalitions of size `k*+1` in
+/// rounds of [`AdaptivePolicy::round`]`(n)`: each round an
+/// [`AllocationPlanner`] turns the pooled per-client contribution
+/// variances into per-client coverage targets (`w_i·σ_i` with
+/// `w_i = 1/n`; unknown variances score optimistically), and
+/// [`weighted_balanced_subsets_extending`] grows the balanced sample so
+/// coverage tracks those targets — high-variance clients land in more
+/// coalitions. With homoscedastic contributions the targets are equal
+/// and the draw degenerates to the coverage-balanced rule of
+/// [`balanced_subsets_of_size`].
+///
+/// Snapshots carry [`ProgressSnapshot::allocation`] — cumulative
+/// per-client phase-2 coverage counts (all zeros during phase 1).
+///
+/// Determinism contract: planning consumes no randomness and draws
+/// consume RNG in round order, so the allocation sequence is a pure
+/// function of (seed, snapshot history): same-seed runs are
+/// bit-identical at any thread count, and a stopped run bit-equals the
+/// same-seed full run's snapshot at the same batch count.
+pub fn ipss_streaming_adaptive<U, R, F>(
+    u: &U,
+    cfg: &IpssConfig,
+    policy: &AdaptivePolicy,
+    rng: &mut R,
+    mut observe: F,
+) -> StreamingOutcome
+where
+    U: Utility + ?Sized,
+    R: Rng + ?Sized,
+    F: FnMut(&ProgressSnapshot) -> Control,
+{
+    let n = u.n_clients();
+    assert!(n >= 1);
+    let k_star = compute_k_star(n, cfg.gamma)
+        .unwrap_or_else(|| panic!("γ = {} cannot even afford U(∅)", cfg.gamma));
+    let exhaustive = subsets_up_to(n, k_star);
+    let phase2_total = if k_star < n {
+        ((cfg.gamma as u128 - exhaustive).min(binom_u128(n, k_star + 1))) as usize
+    } else {
+        0
+    };
+
+    let planner = AllocationPlanner::new(*policy);
+    let round_size = policy.round(n);
+    let mut memo = ValueMemo::new();
+    let mut samples_used = 0usize;
+    let mut batches_done = 0usize;
+    let mut sampled: Vec<Coalition> = Vec::new();
+    let mut chosen: std::collections::HashSet<u128> = std::collections::HashSet::new();
+    let mut coverage = vec![0u32; n];
+    let allocation = |coverage: &[u32]| coverage.iter().map(|&c| c as usize).collect::<Vec<_>>();
+
+    // Phase 1: one batch per exhaustive stratum, exactly as the fixed
+    // schedule runs it.
+    for size in 0..=k_star {
+        let batch: Vec<Coalition> = subsets_of_size(n, size).collect();
+        eval_batch_into_memo(u, &batch, &mut memo);
+        samples_used += batch.len();
+        batches_done += 1;
+        let (mut snapshot, _accs) = ipss_prefix_snapshot(
+            n,
+            k_star,
+            size,
+            &sampled,
+            0,
+            phase2_total,
+            cfg.weighting,
+            &memo,
+            samples_used,
+            batches_done,
+        );
+        snapshot.allocation = Some(allocation(&coverage));
+        let complete = size == k_star && phase2_total == 0;
+        let control = observe(&snapshot);
+        if complete || control == Control::Stop {
+            return StreamingOutcome::from_snapshot(snapshot, !complete);
+        }
+    }
+
+    // Phase 2: variance-steered rounds over the sampled stratum.
+    let mut accs: Vec<Welford> = vec![Welford::new(); n];
+    loop {
+        let components: Vec<ComponentState> = (0..n)
+            .map(|i| ComponentState {
+                weight: 1.0 / n as f64,
+                variance: accs[i].sample_variance(),
+                observed: accs[i].count(),
+                drawn: coverage[i] as usize,
+                remaining: usize::MAX,
+            })
+            .collect();
+        let targets = planner.scores(&components);
+        let want = round_size.min(phase2_total - sampled.len());
+        let new = weighted_balanced_subsets_extending(
+            n,
+            k_star + 1,
+            want,
+            &targets,
+            &mut chosen,
+            &mut coverage,
+            rng,
+        );
+        let exhausted = new.is_empty();
+        eval_batch_into_memo(u, &new, &mut memo);
+        samples_used += new.len();
+        batches_done += 1;
+        sampled.extend(new);
+        let (mut snapshot, new_accs) = ipss_prefix_snapshot(
+            n,
+            k_star,
+            k_star,
+            &sampled,
+            sampled.len(),
+            phase2_total,
+            cfg.weighting,
+            &memo,
+            samples_used,
+            batches_done,
+        );
+        snapshot.allocation = Some(allocation(&coverage));
+        accs = new_accs;
+        let complete = sampled.len() >= phase2_total || exhausted;
+        let control = observe(&snapshot);
+        if complete || control == Control::Stop {
+            return StreamingOutcome::from_snapshot(snapshot, !complete);
+        }
+    }
+}
+
 /// The canonical prefix fold of Alg. 3 lines 15–17 plus its CI,
 /// restricted to the `done_size` completed exhaustive strata and the
 /// first `sampled_prefix` phase-2 coalitions. Over the complete
 /// schedule this is bit-identical to [`estimate`] (same pairs, same
 /// accumulation order).
+///
+/// `phase2_planned` is the total phase-2 draw the schedule intends
+/// (`sampled.len()` for the fixed schedule): while it is positive the
+/// phase-2 CI term is emitted even before any coalition lands, keeping
+/// the halfwidth at ∞ until the sampled stratum has observations.
+///
+/// Also returns the per-client phase-2 [`Welford`] accumulators — the
+/// `σ_i` estimates the adaptive planner steers by.
 #[allow(clippy::too_many_arguments)]
 fn ipss_prefix_snapshot(
     n: usize,
@@ -258,11 +402,12 @@ fn ipss_prefix_snapshot(
     done_size: usize,
     sampled: &[Coalition],
     sampled_prefix: usize,
+    phase2_planned: usize,
     weighting: IpssWeighting,
     memo: &ValueMemo,
     samples_used: usize,
     batches_done: usize,
-) -> ProgressSnapshot {
+) -> (ProgressSnapshot, Vec<Welford>) {
     let value = |s: Coalition| -> f64 { memo[&s.0] };
     let mut phi = vec![0.0f64; n];
     let inv_n = 1.0 / n as f64;
@@ -318,7 +463,7 @@ fn ipss_prefix_snapshot(
             halfwidth(
                 (1..=k_star)
                     .map(|t_size| if t_size <= done_size { Some(0.0) } else { None })
-                    .chain((!sampled.is_empty()).then(|| {
+                    .chain((phase2_planned > 0).then(|| {
                         let weight = match weighting {
                             IpssWeighting::StratifiedMean => inv_n,
                             // var(w'·Σ) = (w'·m)²·s²/m — the estimator is a
@@ -333,12 +478,16 @@ fn ipss_prefix_snapshot(
         })
         .collect();
 
-    ProgressSnapshot {
-        values: phi,
-        ci_halfwidths,
-        samples_used,
-        batches_done,
-    }
+    (
+        ProgressSnapshot {
+            values: phi,
+            ci_halfwidths,
+            samples_used,
+            batches_done,
+            allocation: None,
+        },
+        accs,
+    )
 }
 
 /// Lines 15–17: MC-SV restricted to the evaluated coalitions.
@@ -706,7 +855,7 @@ mod tests {
         let cfg = IpssConfig::new(92);
         let mut widths = Vec::new();
         let out = ipss_streaming(&u, &cfg, &mut StdRng::seed_from_u64(6), |s| {
-            widths.push(s.max_halfwidth());
+            widths.push(s.max_halfwidth().unwrap_or(f64::INFINITY));
             Control::Continue
         });
         // Phase-1 batches (strata 0, 1, 2): pending strata keep CI at ∞.
@@ -719,6 +868,66 @@ mod tests {
         let last = out.ci_halfwidths.iter().cloned().fold(0.0f64, f64::max);
         assert!(last.is_finite() && last < widths[3], "{widths:?}");
         assert!(widths.iter().all(|w| !w.is_nan()));
+    }
+
+    #[test]
+    fn adaptive_streaming_exposes_coverage_and_spends_the_budget() {
+        use crate::anytime::Control;
+        let u = CachedUtility::new(HashUtility { n: 8, seed: 5 });
+        // γ = 60: k* = 2 (37 ≤ 60 < 93), 23 phase-2 coalitions of size 3.
+        let cfg = IpssConfig::new(60);
+        let policy = AdaptivePolicy::default();
+        let mut allocations = Vec::new();
+        let out = ipss_streaming_adaptive(&u, &cfg, &policy, &mut StdRng::seed_from_u64(19), |s| {
+            let alloc = match &s.allocation {
+                Some(a) => a.clone(),
+                None => panic!("adaptive snapshots must carry the allocation"),
+            };
+            allocations.push(alloc);
+            Control::Continue
+        });
+        assert!(!out.stopped_early);
+        assert_eq!(u.stats().evaluations, 60, "exactly γ evaluations");
+        // Phase-1 snapshots report zero coverage; phase 2 grows monotonically
+        // to 23 coalitions × 3 members = 69 total coverage.
+        assert!(allocations[..3].iter().all(|a| a.iter().all(|&c| c == 0)));
+        for w in allocations.windows(2) {
+            assert!(w[0].iter().zip(&w[1]).all(|(a, b)| a <= b));
+        }
+        let last = match allocations.last() {
+            Some(a) => a,
+            None => panic!("no snapshots observed"),
+        };
+        assert_eq!(last.iter().sum::<usize>(), 23 * 3);
+        assert_eq!(out.allocation.as_ref(), Some(last));
+    }
+
+    #[test]
+    fn adaptive_streaming_stopped_run_equals_full_run_prefix() {
+        use crate::anytime::Control;
+        let u = HashUtility { n: 8, seed: 7 };
+        let cfg = IpssConfig::new(60);
+        let policy = AdaptivePolicy::default();
+        let mut snapshots = Vec::new();
+        let _ = ipss_streaming_adaptive(&u, &cfg, &policy, &mut StdRng::seed_from_u64(2), |s| {
+            snapshots.push(s.clone());
+            Control::Continue
+        });
+        for stop_after in [1usize, 4, snapshots.len() - 1] {
+            let out =
+                ipss_streaming_adaptive(&u, &cfg, &policy, &mut StdRng::seed_from_u64(2), |s| {
+                    if s.batches_done >= stop_after {
+                        Control::Stop
+                    } else {
+                        Control::Continue
+                    }
+                });
+            assert!(out.stopped_early);
+            let want = &snapshots[stop_after - 1];
+            assert_eq!(out.values, want.values, "stop_after={stop_after}");
+            assert_eq!(out.ci_halfwidths, want.ci_halfwidths);
+            assert_eq!(out.allocation, want.allocation);
+        }
     }
 
     #[test]

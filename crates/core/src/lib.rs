@@ -46,6 +46,7 @@
 //! assert!(err < 0.5);
 //! ```
 
+pub mod adaptive;
 pub mod anytime;
 pub mod banzhaf;
 pub mod baselines;
@@ -65,6 +66,7 @@ pub mod valuation;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::adaptive::{AdaptivePolicy, AllocationPlanner, ComponentState};
     pub use crate::anytime::{
         Control, ProgressSnapshot, StoppingRule, StreamingOutcome, Welford, Z_95,
     };
@@ -79,22 +81,24 @@ pub mod prelude {
     pub use crate::exact::{exact_cc_sv, exact_mc_sv, exact_mc_sv_streaming, exact_perm_sv};
     pub use crate::fault::{FaultyUtility, InjectedFault, PERSISTENT};
     pub use crate::ipss::{
-        compute_k_star, ipss, ipss_adaptive, ipss_streaming, ipss_values, AdaptiveIpssConfig,
-        IpssConfig, IpssWeighting,
+        compute_k_star, ipss, ipss_adaptive, ipss_streaming, ipss_streaming_adaptive, ipss_values,
+        AdaptiveIpssConfig, IpssConfig, IpssWeighting,
     };
     pub use crate::kgreedy::{k_greedy, k_greedy_evaluations};
     pub use crate::loo::leave_one_out;
     pub use crate::metrics::{
         kendall_tau, l2_relative_error, max_abs_error, pareto_front, property_error,
     };
-    pub use crate::owen::{owen_sampling, owen_sampling_streaming, OwenConfig};
+    pub use crate::owen::{
+        owen_sampling, owen_sampling_streaming, owen_sampling_streaming_adaptive, OwenConfig,
+    };
     pub use crate::service::{
         partial_prefix_fold, Estimator, FlushWindow, LimitPolicy, RetryPolicy, RunStats,
         ServiceStats, Ticket, ValuationError, ValuationRequest, ValuationResponse, ValuationServer,
     };
     pub use crate::stratified::{
-        stratified_sampling, stratified_sampling_streaming, stratified_sampling_values, Scheme,
-        StratifiedConfig,
+        stratified_sampling, stratified_sampling_streaming, stratified_sampling_streaming_adaptive,
+        stratified_sampling_values, Scheme, StratifiedConfig,
     };
     pub use crate::utility::{
         AdditiveUtility, CachedUtility, EvalStats, HashUtility, NoisyUtility, ParallelUtility,

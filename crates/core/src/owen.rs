@@ -8,11 +8,13 @@
 //! `ϕ_i = ∫₀¹ e_i(q) dq`. Owen sampling estimates the integral on a `q`
 //! grid with Monte-Carlo coalitions at each node, optionally with
 //! antithetic pairing (`S_q` and its complement) for variance reduction.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::{HashMap, HashSet};
 
 use rand::Rng;
 
+use crate::adaptive::{AdaptivePolicy, AllocationPlanner, ComponentState};
 use crate::anytime::{
     component_variance, halfwidth, Control, ProgressSnapshot, StreamingOutcome, Welford,
 };
@@ -195,7 +197,8 @@ where
         }
         samples_used += batch.len();
         let prefix = (r + 1) * per_draw;
-        let snapshot = owen_prefix_snapshot(n, cfg, &samples, &memo, prefix, samples_used, r + 1);
+        let (snapshot, _pooled) =
+            owen_prefix_snapshot(n, cfg, &samples, &memo, prefix, samples_used, r + 1);
         let control = observe(&snapshot);
         let complete = r + 1 == cfg.samples_per_node;
         if complete || control == Control::Stop {
@@ -205,12 +208,149 @@ where
     unreachable!("the final round always returns")
 }
 
+/// Adaptive Owen sampling — [`owen_sampling_streaming`] with the grid
+/// budget re-planned at every round by Neyman allocation instead of
+/// spending `samples_per_node` draws on every node uniformly.
+///
+/// The total draw budget is `q_nodes · samples_per_node` (each draw
+/// costs one coalition plus its antithetic partner when enabled, before
+/// neighbourhood dedup). Each round an [`AllocationPlanner`] turns the
+/// pooled per-node contribution variances into the next round's
+/// per-node draw counts (`m_j ∝ w_j·σ_j` with `w_j` the trapezoid node
+/// weight, plus the exploration floor), and the node's sample list
+/// grows raggedly; the prefix fold already handles ragged lists (it
+/// folds whatever each node has, in draw order).
+///
+/// Determinism contract: planning consumes no randomness, draws consume
+/// RNG in plan order (node-major), so the allocation sequence — exposed
+/// on [`ProgressSnapshot::allocation`] as cumulative per-node draw
+/// counts — is a pure function of (seed, snapshot history), and
+/// same-seed runs are bit-identical at any thread count or coalescing
+/// interleaving.
+pub fn owen_sampling_streaming_adaptive<U, R, F>(
+    u: &U,
+    cfg: &OwenConfig,
+    policy: &AdaptivePolicy,
+    rng: &mut R,
+    mut observe: F,
+) -> StreamingOutcome
+where
+    U: Utility + ?Sized,
+    R: Rng + ?Sized,
+    F: FnMut(&ProgressSnapshot) -> Control,
+{
+    let n = u.n_clients();
+    assert!(n >= 1);
+    assert!(cfg.q_nodes >= 2 && cfg.samples_per_node >= 1);
+    let planner = AllocationPlanner::new(*policy);
+    let round_size = policy.round(cfg.q_nodes);
+    let budget = cfg.q_nodes * cfg.samples_per_node; // total draws
+    let h = 1.0 / (cfg.q_nodes - 1) as f64;
+    let node_weight = |node: usize| {
+        if node == 0 || node == cfg.q_nodes - 1 {
+            h / 2.0
+        } else {
+            h
+        }
+    };
+
+    let mut samples: Vec<Vec<Coalition>> = vec![Vec::new(); cfg.q_nodes];
+    let mut drawn: Vec<usize> = vec![0usize; cfg.q_nodes];
+    let mut pooled: Vec<Welford> = vec![Welford::new(); cfg.q_nodes];
+    let mut memo: HashMap<u128, f64> = HashMap::new();
+    let mut samples_used = 0usize;
+    let mut batches_done = 0usize;
+    let mut scheduled = 0usize;
+    loop {
+        let components: Vec<ComponentState> = (0..cfg.q_nodes)
+            .map(|node| ComponentState {
+                weight: node_weight(node),
+                variance: pooled[node].sample_variance(),
+                observed: pooled[node].count(),
+                drawn: drawn[node],
+                remaining: usize::MAX, // with replacement: unbounded
+            })
+            .collect();
+        let plan = planner.plan_round(round_size.min(budget - scheduled), &components);
+
+        // Draw in plan order (node-major), then evaluate the new samples
+        // plus their single-flip neighbourhoods as one deduped batch.
+        let mut batch: Vec<Coalition> = Vec::new();
+        let mut seen: HashSet<u128> = HashSet::new();
+        for (node, &m) in plan.iter().enumerate() {
+            if m == 0 {
+                continue;
+            }
+            let q = node as f64 / (cfg.q_nodes - 1) as f64;
+            let mut push = |s: Coalition| {
+                if !memo.contains_key(&s.0) && seen.insert(s.0) {
+                    batch.push(s);
+                }
+            };
+            for _ in 0..m {
+                let mut mask = 0u128;
+                for i in 0..n {
+                    if rng.random::<f64>() < q {
+                        mask |= 1 << i;
+                    }
+                }
+                let mut news = vec![Coalition(mask)];
+                if cfg.antithetic {
+                    news.push(Coalition(mask).complement(n));
+                }
+                for s in news {
+                    push(s);
+                    for i in 0..n {
+                        push(if s.contains(i) {
+                            s.without(i)
+                        } else {
+                            s.with(i)
+                        });
+                    }
+                    samples[node].push(s);
+                }
+            }
+            drawn[node] += m;
+            scheduled += m;
+        }
+
+        let values = u.eval_batch(&batch);
+        for (s, v) in batch.iter().zip(values) {
+            memo.insert(s.0, v);
+        }
+        samples_used += batch.len();
+        batches_done += 1;
+        // Ragged prefix: fold everything each node has drawn so far.
+        let (mut snapshot, new_pooled) = owen_prefix_snapshot(
+            n,
+            cfg,
+            &samples,
+            &memo,
+            usize::MAX,
+            samples_used,
+            batches_done,
+        );
+        snapshot.allocation = Some(drawn.clone());
+        pooled = new_pooled;
+
+        let complete = scheduled >= budget;
+        let control = observe(&snapshot);
+        if complete || control == Control::Stop {
+            return StreamingOutcome::from_snapshot(snapshot, !complete);
+        }
+    }
+}
+
 /// The canonical prefix fold of Owen sampling plus its CI: per-node
 /// means over the first `prefix` samples in draw order, then the
 /// trapezoid rule in node order. Over the complete schedule this is
 /// bit-identical to the [`owen_sampling`] fold (same contributions,
 /// same accumulation order; evaluation is pure per coalition mask, so
 /// the cross-node memo cannot change any value).
+///
+/// Also returns the pooled per-node [`Welford`] accumulators (every
+/// contribution at that node, across clients, in fold order) — the
+/// `σ_j` estimates the adaptive planner steers by.
 fn owen_prefix_snapshot(
     n: usize,
     cfg: &OwenConfig,
@@ -219,9 +359,10 @@ fn owen_prefix_snapshot(
     prefix: usize,
     samples_used: usize,
     batches_done: usize,
-) -> ProgressSnapshot {
+) -> (ProgressSnapshot, Vec<Welford>) {
     let mut node_means = vec![vec![0.0f64; n]; cfg.q_nodes];
     let mut accs = vec![vec![Welford::new(); cfg.q_nodes]; n]; // accs[i][node]
+    let mut pooled = vec![Welford::new(); cfg.q_nodes];
     for (node, node_samples) in samples.iter().enumerate() {
         let mut sums = vec![0.0f64; n];
         let mut counts = vec![0usize; n];
@@ -236,6 +377,7 @@ fn owen_prefix_snapshot(
                 sums[i] += contribution;
                 counts[i] += 1;
                 accs[i][node].push(contribution);
+                pooled[node].push(contribution);
             }
         }
         for (mean, (&sum, &count)) in node_means[node].iter_mut().zip(sums.iter().zip(&counts)) {
@@ -268,12 +410,16 @@ fn owen_prefix_snapshot(
                 )
             })
             .collect();
-    ProgressSnapshot {
-        values,
-        ci_halfwidths,
-        samples_used,
-        batches_done,
-    }
+    (
+        ProgressSnapshot {
+            values,
+            ci_halfwidths,
+            samples_used,
+            batches_done,
+            allocation: None,
+        },
+        pooled,
+    )
 }
 
 /// Evaluate every coalition the accumulation pass will touch — each sample
@@ -449,7 +595,7 @@ mod tests {
         let cfg = OwenConfig::new(5, 40);
         let mut widths = Vec::new();
         let out = owen_sampling_streaming(&u, &cfg, &mut StdRng::seed_from_u64(11), |s| {
-            widths.push(s.max_halfwidth());
+            widths.push(s.max_halfwidth().unwrap_or(f64::INFINITY));
             crate::anytime::Control::Continue
         });
         // Round 1 has a single draw per node: CI must be unbounded, not NaN.
@@ -468,5 +614,78 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let phi = owen_sampling(&u, &OwenConfig::new(2, 4), &mut rng);
         assert!((phi[0] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_run_exposes_the_allocation_and_spends_the_budget() {
+        let u = SaturatingUtility::uniform(6, 0.1, 0.8, 0.8);
+        let cfg = OwenConfig::new(5, 8);
+        let policy = crate::adaptive::AdaptivePolicy::default();
+        let mut allocations = Vec::new();
+        let out = owen_sampling_streaming_adaptive(
+            &u,
+            &cfg,
+            &policy,
+            &mut StdRng::seed_from_u64(7),
+            |s| {
+                let alloc = match &s.allocation {
+                    Some(a) => a.clone(),
+                    None => panic!("adaptive snapshots must carry the allocation"),
+                };
+                allocations.push(alloc);
+                crate::anytime::Control::Continue
+            },
+        );
+        assert!(!out.stopped_early);
+        // Cumulative per-node draw counts: monotone, ending at the budget.
+        for w in allocations.windows(2) {
+            assert!(w[0].iter().zip(&w[1]).all(|(a, b)| a <= b));
+        }
+        let last = match allocations.last() {
+            Some(a) => a,
+            None => panic!("no snapshots observed"),
+        };
+        assert_eq!(last.len(), cfg.q_nodes);
+        assert_eq!(
+            last.iter().sum::<usize>(),
+            cfg.q_nodes * cfg.samples_per_node
+        );
+        assert_eq!(out.allocation.as_ref(), Some(last));
+    }
+
+    #[test]
+    fn adaptive_stopped_run_equals_full_run_prefix() {
+        let u = SaturatingUtility::uniform(5, 0.1, 0.7, 0.9);
+        let cfg = OwenConfig::new(4, 6).with_antithetic();
+        let policy = crate::adaptive::AdaptivePolicy::default();
+        let mut snapshots = Vec::new();
+        let _ = owen_sampling_streaming_adaptive(
+            &u,
+            &cfg,
+            &policy,
+            &mut StdRng::seed_from_u64(13),
+            |s| {
+                snapshots.push(s.clone());
+                crate::anytime::Control::Continue
+            },
+        );
+        assert!(snapshots.len() >= 3);
+        let out = owen_sampling_streaming_adaptive(
+            &u,
+            &cfg,
+            &policy,
+            &mut StdRng::seed_from_u64(13),
+            |s| {
+                if s.batches_done >= 2 {
+                    crate::anytime::Control::Stop
+                } else {
+                    crate::anytime::Control::Continue
+                }
+            },
+        );
+        assert!(out.stopped_early);
+        assert_eq!(out.values, snapshots[1].values);
+        assert_eq!(out.ci_halfwidths, snapshots[1].ci_halfwidths);
+        assert_eq!(out.allocation, snapshots[1].allocation);
     }
 }

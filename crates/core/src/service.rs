@@ -129,16 +129,20 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::adaptive::AdaptivePolicy;
 use crate::anytime::{Control, ProgressSnapshot, StoppingRule, StreamingOutcome};
 use crate::banzhaf::{banzhaf_pruned, banzhaf_pruned_streaming};
 use crate::coalition::Coalition;
 use crate::exact::{exact_cc_sv, exact_mc_sv, exact_mc_sv_streaming};
 use crate::fault::quiet;
-use crate::ipss::{ipss_streaming, ipss_values, IpssConfig};
+use crate::ipss::{ipss_streaming, ipss_streaming_adaptive, ipss_values, IpssConfig};
 use crate::loo::leave_one_out;
-use crate::owen::{owen_sampling, owen_sampling_streaming, OwenConfig};
+use crate::owen::{
+    owen_sampling, owen_sampling_streaming, owen_sampling_streaming_adaptive, OwenConfig,
+};
 use crate::stratified::{
-    stratified_sampling_streaming, stratified_sampling_values, Scheme, StratifiedConfig,
+    stratified_sampling_streaming, stratified_sampling_streaming_adaptive,
+    stratified_sampling_values, Scheme, StratifiedConfig,
 };
 use crate::utility::{CachedUtility, EvalStats, TrajCacheStats, Utility};
 
@@ -302,6 +306,20 @@ pub struct ValuationRequest {
     /// run's values bit-equal the same-seed full run's snapshot at the
     /// same batch count.
     pub stopping: Option<StoppingRule>,
+    /// Re-plan the sampling budget at every batch boundary by Neyman
+    /// allocation (`None` = the estimator's fixed uniform schedule).
+    /// Applies to the sampling estimators with a steerable schedule —
+    /// [`Estimator::StratifiedMc`], [`Estimator::StratifiedCc`],
+    /// [`Estimator::Ipss`] and [`Estimator::Owen`]; the exact sweeps,
+    /// LOO and pruned Banzhaf have nothing to steer and ignore it.
+    /// Forces the streaming fold: combined with `stopping: None` the run
+    /// streams under [`StoppingRule::stream_only`] (progress snapshots,
+    /// no early stop). Adaptive snapshots carry
+    /// [`ProgressSnapshot::allocation`], and the determinism contract is
+    /// unchanged: the allocation sequence is a pure function of
+    /// (seed, snapshot history), so coalesced runs stay bit-identical to
+    /// solo runs.
+    pub adaptive: Option<AdaptivePolicy>,
 }
 
 impl ValuationRequest {
@@ -316,6 +334,7 @@ impl ValuationRequest {
             max_evals: None,
             on_limit: LimitPolicy::default(),
             stopping: None,
+            adaptive: None,
         }
     }
 
@@ -349,6 +368,14 @@ impl ValuationRequest {
     /// stopping early.
     pub fn with_stopping(mut self, rule: StoppingRule) -> Self {
         self.stopping = Some(rule);
+        self
+    }
+
+    /// Re-plan the sampling budget each round by Neyman allocation under
+    /// `policy` (see [`crate::adaptive`]). Implies streaming; composes
+    /// with [`ValuationRequest::with_stopping`], deadlines and budgets.
+    pub fn with_adaptive(mut self, policy: AdaptivePolicy) -> Self {
+        self.adaptive = Some(policy);
         self
     }
 }
@@ -1074,26 +1101,41 @@ fn dispatch_streaming<V: Utility + Send + Sync>(
         Estimator::ExactMc => exact_mc_sv_streaming(u, observe),
         Estimator::Ipss => {
             assert!(req.budget >= 1, "IPSS needs a budget of at least 1");
-            ipss_streaming(u, &IpssConfig::new(req.budget), &mut rng, observe)
+            let cfg = IpssConfig::new(req.budget);
+            match req.adaptive {
+                Some(policy) => ipss_streaming_adaptive(u, &cfg, &policy, &mut rng, observe),
+                None => ipss_streaming(u, &cfg, &mut rng, observe),
+            }
         }
-        Estimator::StratifiedMc => stratified_sampling_streaming(
-            u,
-            Scheme::MarginalContribution,
-            &StratifiedConfig::uniform(n, req.budget),
-            &mut rng,
-            observe,
-        ),
-        Estimator::StratifiedCc => stratified_sampling_streaming(
-            u,
-            Scheme::ComplementaryContribution,
-            &StratifiedConfig::uniform(n, req.budget),
-            &mut rng,
-            observe,
-        ),
+        Estimator::StratifiedMc | Estimator::StratifiedCc => {
+            let scheme = if req.estimator == Estimator::StratifiedMc {
+                Scheme::MarginalContribution
+            } else {
+                Scheme::ComplementaryContribution
+            };
+            match req.adaptive {
+                Some(policy) => stratified_sampling_streaming_adaptive(
+                    u, scheme, req.budget, &policy, &mut rng, observe,
+                ),
+                None => stratified_sampling_streaming(
+                    u,
+                    scheme,
+                    &StratifiedConfig::uniform(n, req.budget),
+                    &mut rng,
+                    observe,
+                ),
+            }
+        }
         Estimator::Owen => {
             let q_nodes = 4usize;
             let per_node = (req.budget / (q_nodes * (n + 1))).max(1);
-            owen_sampling_streaming(u, &OwenConfig::new(q_nodes, per_node), &mut rng, observe)
+            let cfg = OwenConfig::new(q_nodes, per_node);
+            match req.adaptive {
+                Some(policy) => {
+                    owen_sampling_streaming_adaptive(u, &cfg, &policy, &mut rng, observe)
+                }
+                None => owen_sampling_streaming(u, &cfg, &mut rng, observe),
+            }
         }
         Estimator::BanzhafPruned => {
             assert!(
@@ -1112,6 +1154,7 @@ fn dispatch_streaming<V: Utility + Send + Sync>(
                 values,
                 samples_used: u.coalitions.load(Ordering::Relaxed) as usize,
                 batches_done: u.batches.load(Ordering::Relaxed) as usize,
+                allocation: None,
             };
             let _ = progress.send(snapshot.clone());
             StreamingOutcome::from_snapshot(snapshot, false)
@@ -1290,7 +1333,15 @@ fn serve_one<U: Utility + Send + Sync>(
         retries: AtomicU64::new(0),
         park_wait_max_ns: AtomicU64::new(0),
     };
-    let outcome = quiet::catch_quiet(|| match request.stopping {
+    // An adaptive request without an explicit stopping rule still runs
+    // the streaming fold (the planner lives at batch boundaries): it
+    // streams under `stream_only`, never stopping early.
+    let streaming_rule = match (request.stopping, request.adaptive) {
+        (Some(rule), _) => Some(rule),
+        (None, Some(_)) => Some(StoppingRule::stream_only()),
+        (None, None) => None,
+    };
+    let outcome = quiet::catch_quiet(|| match streaming_rule {
         Some(rule) => {
             let out = dispatch_streaming(&request, &run, rule, &progress);
             let stopped_early = out.stopped_early;
@@ -1299,6 +1350,7 @@ fn serve_one<U: Utility + Send + Sync>(
                 ci_halfwidths: out.ci_halfwidths,
                 samples_used: out.samples_used,
                 batches_done: out.batches_done,
+                allocation: out.allocation,
             };
             (snapshot.values.clone(), Some(snapshot), stopped_early)
         }
@@ -1686,7 +1738,8 @@ mod tests {
         let eps = full
             .progress
             .as_ref()
-            .map(|s| s.max_halfwidth() * 2.0)
+            .and_then(|s| s.max_halfwidth())
+            .map(|h| h * 2.0)
             .unwrap_or(f64::INFINITY);
         let server = ValuationServer::start(HashUtility { n: 7, seed: 9 });
         let resp = ok(server.call(
@@ -1726,6 +1779,62 @@ mod tests {
         let classic = ok(server.call(ValuationRequest::new(Estimator::StratifiedMc, 60, 4)));
         assert!(classic.progress.is_none());
         assert!(!classic.run.stopped_early);
+        server.shutdown();
+    }
+
+    #[test]
+    fn adaptive_request_streams_and_carries_the_allocation() {
+        use crate::adaptive::AdaptivePolicy;
+        let server = ValuationServer::start(HashUtility { n: 6, seed: 8 });
+        // No explicit stopping rule: adaptive alone must force streaming.
+        let ticket = server.submit(
+            ValuationRequest::new(Estimator::StratifiedMc, 48, 9)
+                .with_adaptive(AdaptivePolicy::default()),
+        );
+        let mut snapshots: Vec<ProgressSnapshot> = Vec::new();
+        let result = loop {
+            snapshots.extend(ticket.progress());
+            if let Some(result) = ticket.wait_timeout(Duration::from_millis(20)) {
+                break result;
+            }
+        };
+        snapshots.extend(ticket.progress());
+        let resp = ok(result);
+        assert!(!resp.run.stopped_early);
+        let final_alloc = match resp.progress.as_ref().and_then(|s| s.allocation.as_ref()) {
+            Some(a) => a.clone(),
+            None => panic!("adaptive response must carry the allocation"),
+        };
+        assert_eq!(final_alloc.iter().sum::<usize>(), 48);
+        // Every streamed snapshot carries the (monotone) allocation too.
+        assert!(snapshots.iter().all(|s| s.allocation.is_some()));
+
+        // Same request again: the allocation sequence is deterministic.
+        let twin = ok(server.call(
+            ValuationRequest::new(Estimator::StratifiedMc, 48, 9)
+                .with_adaptive(AdaptivePolicy::default()),
+        ));
+        assert_eq!(twin.values, resp.values);
+        assert_eq!(
+            twin.progress.as_ref().and_then(|s| s.allocation.as_ref()),
+            Some(&final_alloc)
+        );
+
+        // And it composes with an early-stopping rule unchanged.
+        let stopped = ok(server.call(
+            ValuationRequest::new(Estimator::StratifiedMc, 48, 9)
+                .with_adaptive(AdaptivePolicy::default())
+                .with_stopping(StoppingRule::max_samples(16)),
+        ));
+        assert!(stopped.run.stopped_early);
+        match stopped
+            .progress
+            .as_ref()
+            .and_then(|s| s.allocation.as_ref())
+        {
+            Some(a) => assert!(a.iter().sum::<usize>() < 48),
+            None => panic!("stopped adaptive response must carry the allocation"),
+        }
         server.shutdown();
     }
 

@@ -216,4 +216,30 @@ mod tests {
         assert_eq!(windowed.values, barrier, "flush triggers changed a value");
         server.shutdown();
     }
+
+    #[test]
+    fn adaptive_request_over_fl_substrate_carries_the_allocation() {
+        use fedval_core::adaptive::AdaptivePolicy;
+        // The adaptive schedule composes with real FL training unchanged:
+        // same-seed runs agree bit-for-bit and the response exposes the
+        // planner's cumulative per-stratum draw counts.
+        let (server, _cache) = serve(tiny_utility(), FlServiceConfig::default());
+        let req = || {
+            ValuationRequest::new(Estimator::StratifiedMc, 12, 31)
+                .with_adaptive(AdaptivePolicy::default())
+        };
+        let first = ok(server.call(req()));
+        let alloc = match first.progress.as_ref().and_then(|s| s.allocation.as_ref()) {
+            Some(a) => a.clone(),
+            None => panic!("adaptive response must carry the allocation"),
+        };
+        assert_eq!(alloc.iter().sum::<usize>(), 12, "{alloc:?}");
+        let again = ok(server.call(req()));
+        assert_eq!(again.values, first.values);
+        assert_eq!(
+            again.progress.as_ref().and_then(|s| s.allocation.as_ref()),
+            Some(&alloc)
+        );
+        server.shutdown();
+    }
 }

@@ -1,0 +1,417 @@
+//! The adaptive-allocation determinism contract, end to end:
+//!
+//! 1. **Pure-function allocation** — the Neyman re-planned allocation
+//!    sequence is a pure function of (seed, snapshot history): the whole
+//!    snapshot stream, *including* the cumulative per-component
+//!    allocation, is bit-identical at 1/2/4 rayon threads, and a stopped
+//!    run is a bit-identical prefix of the full run (values, CI
+//!    half-widths and allocation).
+//! 2. **Direct ≡ service** — driving an adaptive estimator directly and
+//!    through the valuation service (coalescer, retry facade, progress
+//!    channel) yields the same snapshot stream, solo or coalesced with a
+//!    concurrent twin.
+//! 3. **Uniform fallback** — on a homoscedastic problem every planned
+//!    round degenerates to the uniform split: at each batch boundary the
+//!    cumulative allocation spreads by at most 1 over the strata below
+//!    capacity.
+//! 4. **Real substrate** — the prefix contract holds over the FL
+//!    utility, so the CI matrix exercises it under every
+//!    `FEDVAL_BACKEND`.
+//!
+//! The stopping threshold honours `FEDVAL_CI_EPS` when set (the CI
+//! matrix sets it); otherwise each test derives a mid-run threshold from
+//! the full run's own snapshot stream, which is guaranteed reachable.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fedval_core::adaptive::AdaptivePolicy;
+use fedval_core::anytime::{Control, ProgressSnapshot, StoppingRule, StreamingOutcome};
+use fedval_core::coalition::binom_u128;
+use fedval_core::owen::{owen_sampling_streaming_adaptive, OwenConfig};
+use fedval_core::prelude::*;
+use fedval_core::service::{Estimator, ValuationRequest, ValuationServer};
+use fedval_core::stratified::stratified_sampling_streaming_adaptive;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// `FEDVAL_CI_EPS` when set and parseable, else `None`.
+fn env_eps() -> Option<f64> {
+    std::env::var("FEDVAL_CI_EPS").ok()?.parse().ok()
+}
+
+/// A threshold the stream is guaranteed to reach: the ambient
+/// `FEDVAL_CI_EPS`, or the first *finite* max half-width in the stream.
+fn reachable_eps(full: &[ProgressSnapshot]) -> f64 {
+    env_eps().unwrap_or_else(|| {
+        match full
+            .iter()
+            .filter_map(|s| s.max_halfwidth())
+            .find(|h| h.is_finite())
+        {
+            Some(h) => h,
+            None => panic!("stream never reaches a finite CI; pick a bigger budget"),
+        }
+    })
+}
+
+/// Assert the stopped outcome is a bit-identical prefix of the recorded
+/// full-run stream — values, CI half-widths *and* allocation of the
+/// snapshot with the same `samples_used`.
+fn assert_prefix(label: &str, stopped: &StreamingOutcome, full: &[ProgressSnapshot]) {
+    let twin = full
+        .iter()
+        .find(|s| s.samples_used == stopped.samples_used)
+        .unwrap_or_else(|| {
+            panic!(
+                "{label}: no full-run snapshot at samples_used = {}",
+                stopped.samples_used
+            )
+        });
+    assert_eq!(stopped.values, twin.values, "{label}: values prefix");
+    assert_eq!(
+        stopped.ci_halfwidths, twin.ci_halfwidths,
+        "{label}: CI prefix"
+    );
+    assert_eq!(
+        stopped.allocation, twin.allocation,
+        "{label}: allocation prefix"
+    );
+}
+
+/// Drive one adaptive streaming estimator full-then-stopped at every
+/// thread count: every snapshot must carry a monotone cumulative
+/// allocation, the whole stream must be thread-invariant, and both a
+/// CI-stopped and a sample-capped run must be bit-identical prefixes.
+fn assert_adaptive_contract<F>(label: &str, run: F)
+where
+    F: Fn(&dyn Utility, &mut dyn FnMut(&ProgressSnapshot) -> Control) -> StreamingOutcome,
+{
+    let base = HashUtility { n: 9, seed: 0xADA };
+    let mut reference: Option<Vec<ProgressSnapshot>> = None;
+    for threads in THREAD_COUNTS {
+        let u = ParallelUtility::with_num_threads(base.clone(), threads);
+
+        // Full run, recording every snapshot.
+        let mut full: Vec<ProgressSnapshot> = Vec::new();
+        let full_out = run(&u, &mut |s| {
+            full.push(s.clone());
+            Control::Continue
+        });
+        assert!(full.len() >= 4, "{label}: too few snapshots to stop early");
+        match full.last() {
+            Some(last) => assert_eq!(last.values, full_out.values, "{label}"),
+            None => unreachable!("checked non-empty above"),
+        }
+        // Every snapshot carries the allocation, cumulative and monotone.
+        assert!(
+            full.iter().all(|s| s.allocation.is_some()),
+            "{label}: adaptive snapshots must carry the allocation"
+        );
+        for w in full.windows(2) {
+            match (&w[0].allocation, &w[1].allocation) {
+                (Some(a), Some(b)) => assert!(
+                    a.iter().zip(b).all(|(x, y)| x <= y),
+                    "{label}: allocation must be cumulative ({a:?} -> {b:?})"
+                ),
+                _ => unreachable!("checked Some above"),
+            }
+        }
+        // Config sanity: the CI must go finite before the final snapshot,
+        // or the derived CiAtMost threshold below could never stop early.
+        let finite_at = full
+            .iter()
+            .position(|s| s.max_halfwidth().is_some_and(f64::is_finite))
+            .unwrap_or(full.len());
+        assert!(
+            finite_at + 1 < full.len(),
+            "{label}: CI goes finite too late (snapshot {finite_at} of {})",
+            full.len()
+        );
+
+        // The entire stream — allocation included — is thread-invariant.
+        match &reference {
+            Some(r) => assert_eq!(r, &full, "{label}: stream diverged at {threads} threads"),
+            None => reference = Some(full.clone()),
+        }
+
+        // Same-seed run stopped by a reachable CI threshold.
+        let rule = StoppingRule::ci_at_most(reachable_eps(&full));
+        let stopped = run(&u, &mut |s| {
+            if rule.should_stop(s) {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_prefix(label, &stopped, &full);
+        if !stopped.stopped_early {
+            // Only an ambient FEDVAL_CI_EPS below the stream's reach may
+            // run to completion; the derived threshold always fires.
+            assert!(
+                env_eps().is_some(),
+                "{label}: derived threshold failed to fire"
+            );
+        }
+
+        // And a sample-capped run stops at the first boundary past the
+        // cap, on the same bit-identical prefix.
+        let cap = full[full.len() / 3].samples_used;
+        let cap_rule = StoppingRule::max_samples(cap);
+        let capped = run(&u, &mut |s| {
+            if cap_rule.should_stop(s) {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert!(capped.stopped_early, "{label}: cap {cap} must fire");
+        assert_prefix(label, &capped, &full);
+    }
+}
+
+#[test]
+fn adaptive_stratified_mc_allocation_is_a_pure_function_of_seed_and_history() {
+    assert_adaptive_contract("adaptive-stratified-mc", |u, observe| {
+        stratified_sampling_streaming_adaptive(
+            u,
+            Scheme::MarginalContribution,
+            504,
+            &AdaptivePolicy::default(),
+            &mut StdRng::seed_from_u64(41),
+            observe,
+        )
+    });
+}
+
+#[test]
+fn adaptive_stratified_cc_allocation_is_a_pure_function_of_seed_and_history() {
+    assert_adaptive_contract("adaptive-stratified-cc", |u, observe| {
+        stratified_sampling_streaming_adaptive(
+            u,
+            Scheme::ComplementaryContribution,
+            504,
+            &AdaptivePolicy::default(),
+            &mut StdRng::seed_from_u64(42),
+            observe,
+        )
+    });
+}
+
+#[test]
+fn adaptive_owen_allocation_is_a_pure_function_of_seed_and_history() {
+    assert_adaptive_contract("adaptive-owen", |u, observe| {
+        owen_sampling_streaming_adaptive(
+            u,
+            &OwenConfig::new(4, 24),
+            &AdaptivePolicy::default(),
+            &mut StdRng::seed_from_u64(43),
+            observe,
+        )
+    });
+}
+
+#[test]
+fn adaptive_ipss_allocation_is_a_pure_function_of_seed_and_history() {
+    assert_adaptive_contract("adaptive-ipss", |u, observe| {
+        ipss_streaming_adaptive(
+            u,
+            &IpssConfig::new(100),
+            &AdaptivePolicy::default(),
+            &mut StdRng::seed_from_u64(44),
+            observe,
+        )
+    });
+}
+
+/// Collect the full snapshot stream of a streaming service run by
+/// polling `wait_timeout` (the ticket's public surface).
+fn stream_via_service<U: Utility + Send + Sync + 'static>(
+    server: &ValuationServer<U>,
+    request: ValuationRequest,
+) -> (
+    fedval_core::service::ValuationResponse,
+    Vec<ProgressSnapshot>,
+) {
+    let ticket = server.submit(request);
+    let mut snapshots = Vec::new();
+    let resp = loop {
+        snapshots.extend(ticket.progress());
+        if let Some(result) = ticket.wait_timeout(Duration::from_millis(20)) {
+            break result;
+        }
+    };
+    snapshots.extend(ticket.progress());
+    match resp {
+        Ok(resp) => (resp, snapshots),
+        Err(e) => panic!("healthy run failed: {e}"),
+    }
+}
+
+#[test]
+fn adaptive_service_stream_is_bit_identical_to_the_direct_run() {
+    // The same (seed, history) purity through the whole service stack:
+    // the direct estimator stream and the service stream must agree
+    // snapshot for snapshot, solo and coalesced with a concurrent twin.
+    let base = HashUtility { n: 8, seed: 0xB5E };
+    let policy = AdaptivePolicy::default();
+    let gamma = 120;
+    let seed = 47;
+
+    let mut direct: Vec<ProgressSnapshot> = Vec::new();
+    let direct_out = stratified_sampling_streaming_adaptive(
+        &base,
+        Scheme::MarginalContribution,
+        gamma,
+        &policy,
+        &mut StdRng::seed_from_u64(seed),
+        |s| {
+            direct.push(s.clone());
+            Control::Continue
+        },
+    );
+    assert!(!direct_out.stopped_early);
+
+    let request =
+        || ValuationRequest::new(Estimator::StratifiedMc, gamma, seed).with_adaptive(policy);
+
+    // Solo through the service (adaptive alone turns on streaming).
+    let server = ValuationServer::start(base.clone());
+    let (solo_resp, solo) = stream_via_service(&server, request());
+    server.shutdown();
+    assert_eq!(solo, direct, "service stream diverged from the direct run");
+    assert_eq!(solo_resp.values, direct_out.values);
+    assert_eq!(
+        solo_resp
+            .progress
+            .as_ref()
+            .and_then(|s| s.allocation.clone()),
+        direct_out.allocation
+    );
+
+    // Coalesced with a concurrent twin: interleaving must stay invisible.
+    let server = ValuationServer::start(base);
+    let t1 = server.submit(request());
+    let t2 = server.submit(request());
+    let r1 = match t1.wait() {
+        Ok(r) => r,
+        Err(e) => panic!("healthy run failed: {e}"),
+    };
+    let r2 = match t2.wait() {
+        Ok(r) => r,
+        Err(e) => panic!("healthy run failed: {e}"),
+    };
+    server.shutdown();
+    for resp in [r1, r2] {
+        assert_eq!(resp.values, direct_out.values, "coalesced run diverged");
+        assert_eq!(
+            resp.progress.as_ref().and_then(|s| s.allocation.clone()),
+            direct_out.allocation,
+            "coalesced allocation diverged"
+        );
+    }
+}
+
+#[test]
+fn homoscedastic_allocation_degenerates_to_the_uniform_split() {
+    // Equal per-client weights make every contribution identical, so all
+    // stratum variances are 0 and each planned round must fall back to
+    // the uniform split: at every batch boundary the cumulative
+    // allocation of the strata below capacity spreads by at most 1, and
+    // saturated strata sit exactly at capacity.
+    let n = 6;
+    let gamma = 24;
+    let u = AdditiveUtility::new(0.0, vec![0.125; n]);
+    let mut boundaries = 0usize;
+    let out = stratified_sampling_streaming_adaptive(
+        &u,
+        Scheme::MarginalContribution,
+        gamma,
+        &AdaptivePolicy::default(),
+        &mut StdRng::seed_from_u64(53),
+        |s| {
+            let alloc = match &s.allocation {
+                Some(a) => a,
+                None => panic!("adaptive snapshots must carry the allocation"),
+            };
+            let capacity = |k: usize| usize::try_from(binom_u128(n, k + 1)).unwrap_or(usize::MAX);
+            let uncapped: Vec<usize> = (0..n)
+                .filter(|&k| alloc[k] < capacity(k))
+                .map(|k| alloc[k])
+                .collect();
+            if let (Some(&max), Some(&min)) = (uncapped.iter().max(), uncapped.iter().min()) {
+                assert!(
+                    max - min <= 1,
+                    "homoscedastic rounds must stay uniform: {alloc:?}"
+                );
+            }
+            boundaries += 1;
+            Control::Continue
+        },
+    );
+    assert!(boundaries >= 4, "too few boundaries to mean anything");
+    match out.allocation {
+        Some(alloc) => assert_eq!(alloc.iter().sum::<usize>(), gamma),
+        None => panic!("adaptive outcome must carry the allocation"),
+    }
+}
+
+#[test]
+fn adaptive_service_prefix_holds_on_the_fl_substrate() {
+    // The contract over real federated training, so the CI matrix's
+    // FEDVAL_BACKEND axis exercises the adaptive fold over both numeric
+    // backends. Small problem: 3 clients, 2 rounds.
+    use fedval_data::{MnistLike, SyntheticSetup};
+    use fedval_fl::service::{serve, FlServiceConfig};
+    use fedval_fl::{FedAvgConfig, FlUtility, ModelSpec};
+
+    let n_clients = 3;
+    let fl_utility = || -> FlUtility {
+        let gen = MnistLike::new(701);
+        let (train, test) = gen.generate_split(18 * n_clients, 48, 702);
+        let mut rng = StdRng::seed_from_u64(703);
+        let clients = SyntheticSetup::SameSizeSameDist.partition(&train, n_clients, &mut rng);
+        FlUtility::new(
+            clients,
+            test,
+            ModelSpec::default_mlp(),
+            FedAvgConfig {
+                rounds: 2,
+                local_epochs: 1,
+                seed: 704,
+                ..Default::default()
+            },
+        )
+    };
+    let request = || {
+        ValuationRequest::new(Estimator::StratifiedMc, 7, 31)
+            .with_adaptive(AdaptivePolicy::default())
+    };
+
+    let (full_server, _cache) = serve(fl_utility(), FlServiceConfig::default());
+    let (full_resp, full) = stream_via_service(&full_server, request());
+    full_server.shutdown();
+    assert!(full.len() >= 2, "too few snapshots to stop early");
+    assert!(full.iter().all(|s| s.allocation.is_some()));
+
+    let cap = full[full.len() / 2].samples_used;
+    let (server, _cache) = serve(fl_utility(), FlServiceConfig::default());
+    let (resp, _) = stream_via_service(
+        &server,
+        request().with_stopping(StoppingRule::max_samples(cap)),
+    );
+    server.shutdown();
+    assert!(resp.run.stopped_early, "cap {cap} must fire");
+    let snapshot = match resp.progress.as_ref() {
+        Some(s) => s,
+        None => panic!("streaming response must carry a snapshot"),
+    };
+    let stopped = StreamingOutcome::from_snapshot(snapshot.clone(), true);
+    assert_prefix("service-fl-adaptive", &stopped, &full);
+    assert!(
+        stopped.samples_used < full_resp.progress.map(|s| s.samples_used).unwrap_or(0),
+        "stopping must save model trainings"
+    );
+}

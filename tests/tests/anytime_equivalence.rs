@@ -40,7 +40,7 @@ fn reachable_eps(full: &[ProgressSnapshot]) -> f64 {
     env_eps().unwrap_or_else(|| {
         match full
             .iter()
-            .map(|s| s.max_halfwidth())
+            .filter_map(|s| s.max_halfwidth())
             .find(|h| h.is_finite())
         {
             Some(h) => h,
@@ -96,7 +96,7 @@ where
         // or the derived CiAtMost threshold below could never stop early.
         let finite_at = full
             .iter()
-            .position(|s| s.max_halfwidth().is_finite())
+            .position(|s| s.max_halfwidth().is_some_and(f64::is_finite))
             .unwrap_or(full.len());
         assert!(
             finite_at + 1 < full.len(),
