@@ -8,6 +8,10 @@
 //! 4. Alg. 1 scheme choice (MC-SV vs CC-SV) at equal budget on the real
 //!    FL utility.
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_bench::{base_seed, exact_values_neural, femnist, quick, NeuralModel, Table};
 use fedval_core::baselines::{extended_tmc, TmcConfig};
 use fedval_core::coalition::{binom_u128, subsets_of_size, subsets_up_to};

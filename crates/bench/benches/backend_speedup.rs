@@ -24,6 +24,10 @@
 //! Knobs: `FEDVAL_QUICK=1` shrinks the repetition counts,
 //! `FEDVAL_BACKEND_JSON=<path>` redirects the report.
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::Write as _;
 use std::time::Instant;
 

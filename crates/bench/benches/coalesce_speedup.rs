@@ -25,6 +25,10 @@
 //! drops to 5), `FEDVAL_COALESCE_B=<lanes>` (default 8),
 //! `FEDVAL_COALESCE_JSON=<path>` to redirect the report.
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::Write as _;
 use std::time::Instant;
 

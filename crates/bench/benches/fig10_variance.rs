@@ -11,6 +11,10 @@
 //! the closed-form linear-regression utility of `fedval-theory` for the
 //! dense sweep plus one neural spot check.
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_bench::{base_seed, quick, Table};
 use fedval_core::stratified::Scheme;
 use fedval_theory::{estimator_variance_over_runs, TrainingErrorUtility};

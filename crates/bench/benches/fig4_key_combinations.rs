@@ -11,6 +11,10 @@
 //! same cache, which is exactly the cost model of Sec. IV-C (time is
 //! `O(τγ)`).
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_bench::{base_seed, femnist, fmt_secs, parallel_prefill, quick, NeuralModel, Table};
 use fedval_core::coalition::all_subsets;
 use fedval_core::exact::exact_mc_sv;

@@ -13,6 +13,10 @@
 //! in minutes without re-training coalitions per algorithm. Gradient-based
 //! methods are wall-clock timed (their cost is one FL training).
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_bench::runner::{RecordingUtility, TauModel};
 use fedval_bench::{
     base_seed, fmt_err, fmt_secs, gamma_for, mnist_synthetic, quick, run_neural, Algorithm,

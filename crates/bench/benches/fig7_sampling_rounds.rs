@@ -9,6 +9,10 @@
 //! already trained for the exact SV), so the sweep measures estimator
 //! error, not training time — Fig. 7 plots error only.
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_bench::{base_seed, femnist, parallel_prefill, quick, Algorithm, NeuralModel, Table};
 use fedval_core::baselines::{cc_shapley, extended_gtb_values, extended_tmc};
 use fedval_core::baselines::{CcShapConfig, GtbConfig, TmcConfig};

@@ -6,6 +6,10 @@
 //! error spread. Paper shape: IPSS attains Pareto optimality across
 //! client counts.
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_bench::{
     base_seed, exact_values_neural, femnist, quick, run_neural, Algorithm, NeuralModel, Table,
 };

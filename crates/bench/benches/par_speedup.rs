@@ -14,6 +14,10 @@
 //! Knobs: `FEDVAL_PAR_N=<clients>` (default 16; `FEDVAL_QUICK=1` drops to
 //! 10), `FEDVAL_PAR_JSON=<path>` to redirect the report.
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::Write as _;
 use std::time::Instant;
 

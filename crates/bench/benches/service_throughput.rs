@@ -37,6 +37,10 @@
 //! Knobs: `FEDVAL_SERVICE_N=<clients>` (default 7; `FEDVAL_QUICK=1` drops
 //! to 5), `FEDVAL_SERVICE_JSON=<path>` to redirect the report.
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 

@@ -7,6 +7,10 @@
 //!   CC-SV;
 //! * Theorem 3: IPSS's truncation error on the linear model vs the bound.
 
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_bench::{base_seed, quick, Table};
 use fedval_core::exact::exact_mc_sv;
 use fedval_core::ipss::{compute_k_star, ipss_values, IpssConfig};

@@ -293,7 +293,9 @@ impl TauModel {
                         local_secs[c.size()] += start.elapsed().as_secs_f64();
                         local_counts[c.size()] += 1;
                     }
-                    let mut guard = acc.lock().unwrap();
+                    let mut guard = acc
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     for s in 0..=n {
                         guard.0[s] += local_secs[s];
                         guard.1[s] += local_counts[s];
@@ -301,7 +303,9 @@ impl TauModel {
                 });
             }
         });
-        let (secs, counts) = acc.into_inner().unwrap();
+        let (secs, counts) = acc
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let tau_by_size = secs
             .iter()
             .zip(&counts)
@@ -353,7 +357,7 @@ impl<'a, U: Utility> RecordingUtility<'a, U> {
     pub fn recorded(&self) -> Vec<Coalition> {
         self.seen
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|&m| Coalition(m))
             .collect()
@@ -365,12 +369,17 @@ impl<U: Utility> Utility for RecordingUtility<'_, U> {
         self.inner.n_clients()
     }
     fn eval(&self, s: Coalition) -> f64 {
-        self.seen.lock().unwrap().insert(s.0);
+        self.seen
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(s.0);
         self.inner.eval(s)
     }
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::problems::{adult_xgb, femnist, NeuralModel};

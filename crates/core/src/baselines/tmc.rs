@@ -80,6 +80,8 @@ pub fn extended_tmc<U: Utility + ?Sized, R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::exact::exact_mc_sv;

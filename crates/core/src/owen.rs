@@ -8,7 +8,6 @@
 //! `ϕ_i = ∫₀¹ e_i(q) dq`. Owen sampling estimates the integral on a `q`
 //! grid with Monte-Carlo coalitions at each node, optionally with
 //! antithetic pairing (`S_q` and its complement) for variance reduction.
-#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::{HashMap, HashSet};
 
@@ -460,24 +459,26 @@ fn batch_neighbourhoods<U: Utility + ?Sized>(
 /// sample informs every client, including at the grid ends `q ∈ {0, 1}`.
 /// Reads from the pre-evaluated value map.
 fn accumulate(
-    values: &HashMap<u128, f64>,
+    value_by_mask: &HashMap<u128, f64>,
     s: Coalition,
     n: usize,
     sums: &mut [f64],
     counts: &mut [usize],
 ) {
-    let base = values[&s.0];
+    let base = value_by_mask[&s.0];
     for i in 0..n {
         if s.contains(i) {
-            sums[i] += base - values[&s.without(i).0];
+            sums[i] += base - value_by_mask[&s.without(i).0];
         } else {
-            sums[i] += values[&s.with(i).0] - base;
+            sums[i] += value_by_mask[&s.with(i).0] - base;
         }
         counts[i] += 1;
     }
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::exact::exact_mc_sv;

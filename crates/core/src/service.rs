@@ -117,9 +117,13 @@
 //! assert!(stats.eval.lookups > 8, "overlap resolved from the cache");
 //! server.shutdown();
 //! ```
-#![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use std::collections::{HashMap, HashSet};
+// This module IS the timing whitelist (clippy.toml bans Instant::now
+// elsewhere): park-wait deadlines and flush windows are wall-clock by
+// design, bound only *when* work happens — never what the values are.
+#![allow(clippy::disallowed_methods)]
+
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -647,7 +651,13 @@ struct CoState {
     /// Entries not yet taken by a leader.
     parked: usize,
     next_ticket: u64,
-    entries: HashMap<u64, ParkedEntry>,
+    /// Parked batches by ticket. A `BTreeMap`, not a `HashMap`: the
+    /// flush leader walks this map to take parked entries, and a B-tree
+    /// iterates in ticket (arrival) order — deterministic by
+    /// construction, where hash order would silently depend on the
+    /// allocator state. (The merged batch is sorted again before
+    /// evaluation, but the take order must not be left to chance.)
+    entries: BTreeMap<u64, ParkedEntry>,
     flushes: usize,
     merged_batches: usize,
     failed_flushes: usize,
@@ -1487,6 +1497,8 @@ impl<U: Utility + Send + Sync + 'static> Drop for ValuationServer<U> {
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::utility::{HashUtility, TableUtility};

@@ -137,7 +137,9 @@ pub fn partition_label_skew<R: Rng + ?Sized>(
     let mut parts = Vec::with_capacity(n_clients);
     for mut indices in reserved {
         while indices.len() < per_client {
-            let largest = (0..pools.len()).max_by_key(|&c| pools[c].len()).unwrap();
+            let Some(largest) = (0..pools.len()).max_by_key(|&c| pools[c].len()) else {
+                break; // no class pools at all (n_classes == 0 source)
+            };
             match pools[largest].pop() {
                 Some(idx) => indices.push(idx),
                 None => break, // all pools exhausted
@@ -236,6 +238,8 @@ pub fn plant_scalability_fixtures(
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::synth::MnistLike;

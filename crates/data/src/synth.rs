@@ -457,6 +457,8 @@ impl Sent140Like {
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -468,7 +468,9 @@ pub fn train_coalitions_params_with_cache(
                     cache.record_training(round);
                     if cache.is_enabled() {
                         let class = lane_classes.class_of[*rep];
-                        let fp = class_fp[class].expect("fingerprint set during probe");
+                        let Some(fp) = class_fp[class] else {
+                            unreachable!("probe loop fills class_fp for every missed class")
+                        };
                         cache.insert(
                             lane_classes.hashes[class],
                             fp,
@@ -500,9 +502,9 @@ pub fn train_coalitions_params_with_cache(
             aggregate.fill(0.0);
             for &i in &participants[l] {
                 let w = clients[i].n_samples() as f32 / total as f32;
-                let delta = deltas[l][i]
-                    .as_ref()
-                    .expect("participant trained this round");
+                let Some(delta) = deltas[l][i].as_ref() else {
+                    unreachable!("every participant's delta was stored this round")
+                };
                 cfg.backend.axpy(w, delta, &mut aggregate);
             }
             cfg.backend.axpy(cfg.server_lr, &aggregate, &mut bases[l]);
@@ -512,6 +514,8 @@ pub fn train_coalitions_params_with_cache(
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fedval_data::{MnistLike, SyntheticSetup};

@@ -87,6 +87,8 @@ pub fn dig_fl_free_riders(history: &TrainingHistory) -> Coalition {
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::FedAvgConfig;

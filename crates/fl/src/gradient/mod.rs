@@ -18,7 +18,7 @@ pub use gtg::{gtg_shapley, GtgConfig};
 pub use lambda_mr::{lambda_mr, LambdaMrConfig};
 pub use or::or_valuation;
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use fedval_core::coalition::Coalition;
 use fedval_core::utility::Utility;
@@ -45,7 +45,9 @@ impl ParamEvaluator {
     }
 
     pub(crate) fn accuracy_of(&self, params: &[f32]) -> f64 {
-        let mut net = self.net.lock().unwrap();
+        // Poison-tolerant: the only state behind the lock is overwritten
+        // by set_params before every read.
+        let mut net = self.net.lock().unwrap_or_else(PoisonError::into_inner);
         net.set_params(params);
         net.accuracy(&self.test)
     }

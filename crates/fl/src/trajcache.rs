@@ -66,7 +66,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 pub use fedval_core::utility::TrajCacheStats;
 
@@ -282,7 +282,10 @@ impl TrajectoryCache {
 
     /// Number of cached `(params, client, round)` → `Δ` entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -321,7 +324,11 @@ impl TrajectoryCache {
     /// lock while zeroing the byte gauge, so a racing insert can never
     /// leave the gauge out of sync with the maps.
     pub fn clear(&self) {
-        let mut shards: Vec<_> = self.shards.iter().map(|s| s.write().unwrap()).collect();
+        let mut shards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.write().unwrap_or_else(PoisonError::into_inner))
+            .collect();
         for shard in shards.iter_mut() {
             shard.clear();
         }
@@ -345,7 +352,9 @@ impl TrajectoryCache {
             return None;
         }
         let key = (base_hash, client as u32, round as u32);
-        let shard = self.shards[shard_of(&key)].read().unwrap();
+        let shard = self.shards[shard_of(&key)]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
         let entry = shard.get(&key)?;
         if entry.fingerprint != fingerprint {
             return None;
@@ -391,7 +400,9 @@ impl TrajectoryCache {
             // The byte gauge moves while the shard write lock is held, so
             // map contents and accounting stay atomic with respect to
             // `evict_to_budget`/`clear` (both take every shard lock).
-            let mut shard = self.shards[shard_of(&key)].write().unwrap();
+            let mut shard = self.shards[shard_of(&key)]
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
             if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(key) {
                 e.insert(Entry {
                     fingerprint,
@@ -422,7 +433,11 @@ impl TrajectoryCache {
             Some(b) => b,
             None => return,
         };
-        let mut shards: Vec<_> = self.shards.iter().map(|s| s.write().unwrap()).collect();
+        let mut shards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.write().unwrap_or_else(PoisonError::into_inner))
+            .collect();
         let mut resident = self.bytes.load(Ordering::Relaxed) as usize;
         if resident <= budget {
             return; // a concurrent sweep already finished the job
@@ -444,7 +459,9 @@ impl TrajectoryCache {
             if resident <= budget {
                 break;
             }
-            let evicted = shards[si].remove(&key).expect("victim key resident");
+            let Some(evicted) = shards[si].remove(&key) else {
+                unreachable!("candidate keys were enumerated under these same locks")
+            };
             let sz = evicted.delta.len() * std::mem::size_of::<f32>();
             resident -= sz;
             self.bytes.fetch_sub(sz as u64, Ordering::Relaxed);
@@ -465,6 +482,8 @@ impl TrajectoryCache {
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

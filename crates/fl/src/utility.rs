@@ -297,6 +297,8 @@ impl Utility for GbdtUtility {
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fedval_core::utility::CachedUtility;

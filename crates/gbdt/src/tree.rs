@@ -120,6 +120,9 @@ impl Tree {
         (-grad_sum / (hess_sum + lambda as f64)) as f32
     }
 
+    // Recursion carries the whole split context (data, grad/hess, index
+    // subset, binning, params, depth); bundling them into a struct would
+    // only rename the argument list.
     #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
@@ -238,6 +241,8 @@ impl Tree {
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,10 @@
+// Fixture: `#[allow(...)]` in non-test library code with no
+// justification — both attribute forms must trip `allow-justification`.
+
+#[allow(clippy::too_many_arguments)]
+pub fn unjustified(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) -> u8 {
+    a + b + c + d + e + f + g + h
+}
+
+#[cfg_attr(feature = "x", allow(dead_code))]
+pub fn conditional_allow() {}

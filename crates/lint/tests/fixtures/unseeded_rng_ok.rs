@@ -1,0 +1,19 @@
+// Fixture: the near-misses for `unseeded-rng` — seeds that flow from an
+// explicit seed parameter, and one justified derived stream.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn from_config(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn per_stratum(base_seed: u64, stratum: u64) -> StdRng {
+    // Derived streams keep the seed identifier in the expression.
+    StdRng::seed_from_u64(base_seed ^ stratum)
+}
+
+pub fn annotated_derivation(request_fingerprint: u64) -> StdRng {
+    // lint:seeded(the fingerprint is a pure function of the request, so
+    // the stream replays with the request)
+    StdRng::seed_from_u64(request_fingerprint)
+}

@@ -1,0 +1,22 @@
+// Fixture: the near-misses for `wall-clock` — an annotated reporting
+// gauge, and clock mentions that are not clock reads.
+use std::time::{Duration, Instant};
+
+pub fn annotated_gauge(work: impl Fn() -> f64) -> f64 {
+    // lint:wall-clock(reporting-only latency gauge; the returned value
+    // is computed before the elapsed time is read)
+    let start = Instant::now();
+    let v = work();
+    let _elapsed = start.elapsed();
+    v
+}
+
+pub fn durations_are_fine() -> Duration {
+    // Duration arithmetic and Instant *values* passed in are not reads.
+    Duration::from_millis(5) + Duration::ZERO
+}
+
+pub fn instant_parameter(deadline: Instant, now: Instant) -> bool {
+    // Comparing instants someone else read is the caller's concern.
+    now >= deadline
+}

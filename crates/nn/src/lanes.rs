@@ -710,7 +710,9 @@ impl MultiNetwork {
         // (`acts` and `grad_cur` are disjoint fields, so the logits
         // borrow coexists with the per-lane gradient writes).
         self.grad_cur.reset(self.lanes, batch * self.n_classes);
-        let logits = self.acts.last().expect("network has layers");
+        let Some(logits) = self.acts.last() else {
+            unreachable!("acts always holds layers.len() + 1 tensors")
+        };
         for (l, &on) in active.iter().enumerate() {
             if on {
                 let (_, g) = softmax_cross_entropy(logits.lane(l), labels, self.n_classes);
@@ -800,7 +802,9 @@ impl MultiNetwork {
                 xbuf.extend_from_slice(data.row(i));
             }
             self.forward_shared(&xbuf, end - start, &active);
-            let logits = self.acts.last().expect("network has layers");
+            let Some(logits) = self.acts.last() else {
+                unreachable!("acts always holds layers.len() + 1 tensors")
+            };
             for (l, corr) in correct.iter_mut().enumerate() {
                 let rows = logits.lane(l);
                 for (r, row) in rows.chunks_exact(self.n_classes).enumerate() {
@@ -823,6 +827,8 @@ impl MultiNetwork {
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::models;

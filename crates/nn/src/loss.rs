@@ -78,6 +78,8 @@ pub fn mse(pred: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

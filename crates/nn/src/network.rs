@@ -33,7 +33,7 @@ impl Network {
                 pair[1].in_len()
             );
         }
-        assert_eq!(layers.last().unwrap().out_len(), n_classes);
+        assert_eq!(layers[layers.len() - 1].out_len(), n_classes);
         let in_len = layers[0].in_len();
         Network {
             layers,
@@ -258,6 +258,8 @@ pub fn init_rng(seed: u64) -> StdRng {
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::layers::{Dense, Relu};

@@ -71,12 +71,8 @@ pub fn generate_regression(
 fn solve(mut a: Vec<f64>, mut b: Vec<f64>, d: usize) -> Option<Vec<f64>> {
     for col in 0..d {
         // Partial pivot.
-        let pivot = (col..d).max_by(|&i, &j| {
-            a[i * d + col]
-                .abs()
-                .partial_cmp(&a[j * d + col].abs())
-                .unwrap()
-        })?;
+        let pivot =
+            (col..d).max_by(|&i, &j| a[i * d + col].abs().total_cmp(&a[j * d + col].abs()))?;
         if a[pivot * d + col].abs() < 1e-12 {
             return None;
         }
@@ -217,6 +213,8 @@ impl Utility for LinRegUtility {
 }
 
 #[cfg(test)]
+// Tests assert invariants; an unwrap that trips IS the test failing.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fedval_core::exact::exact_mc_sv;

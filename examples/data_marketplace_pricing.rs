@@ -8,6 +8,10 @@
 //!
 //! Run with: `cargo run --release -p fedval-examples --bin data_marketplace_pricing`
 
+// Demo driver: service errors surface by panicking with the message;
+// a real integration would match on the typed ValuationError.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_core::prelude::*;
 use fedval_data::{AdultLike, Dataset};
 use fedval_fl::GbdtUtility;

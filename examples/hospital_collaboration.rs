@@ -9,6 +9,10 @@
 //!
 //! Run with: `cargo run --release -p fedval-examples --bin hospital_collaboration`
 
+// Demo driver: service errors surface by panicking with the message;
+// a real integration would match on the typed ValuationError.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_core::prelude::*;
 use fedval_data::{Dataset, MnistLike};
 use fedval_fl::{FedAvgConfig, FlUtility, ModelSpec};

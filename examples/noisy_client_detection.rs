@@ -7,6 +7,10 @@
 //!
 //! Run with: `cargo run --release -p fedval-examples --bin noisy_client_detection`
 
+// Demo driver: service errors surface by panicking with the message;
+// a real integration would match on the typed ValuationError.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_core::prelude::*;
 use fedval_data::{MnistLike, SyntheticSetup};
 use fedval_fl::{FedAvgConfig, FlUtility, ModelSpec};

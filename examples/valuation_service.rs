@@ -16,6 +16,10 @@
 //! cargo run --release -p fedval-examples --bin valuation_service
 //! ```
 
+// Demo driver: service errors surface by panicking with the message;
+// a real integration would match on the typed ValuationError.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_core::service::{Estimator, ValuationRequest, ValuationResponse};
 use fedval_data::{MnistLike, SyntheticSetup};
 use fedval_fl::service::{serve, FlServiceConfig};

@@ -14,6 +14,9 @@
 //! To migrate to the real crate: delete the `criterion` entry under
 //! `[workspace.dependencies]`; the bench sources compile unchanged.
 
+// Timing shim: measuring wall time is this crate's entire purpose.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

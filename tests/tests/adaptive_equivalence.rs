@@ -22,6 +22,10 @@
 //! matrix sets it); otherwise each test derives a mid-run threshold from
 //! the full run's own snapshot stream, which is guaranteed reachable.
 
+// Driver code: test assertions panic by design, so unwrap/expect are
+// the failure mechanism, not a robustness gap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use rand::rngs::StdRng;

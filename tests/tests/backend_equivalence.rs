@@ -11,6 +11,10 @@
 //! FL utility run under the Simd backend keeps the full
 //! cache→parallel→lock-step composition bit-identical.
 
+// Driver code: test assertions panic by design, so unwrap/expect are
+// the failure mechanism, not a robustness gap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_core::coalition::{all_subsets, Coalition};
 use fedval_core::utility::{CachedUtility, ParallelUtility, Utility};
 use fedval_data::{MnistLike, SyntheticSetup};

@@ -5,6 +5,10 @@
 //! trajectory cache's byte-budget eviction bounds memory without
 //! changing a single bit.
 
+// Driver code: test assertions panic by design, so unwrap/expect are
+// the failure mechanism, not a robustness gap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use rand::rngs::StdRng;

@@ -10,6 +10,13 @@
 //! Set `FEDVAL_FAULTS=<rounds>` to widen the seeded fault sweep — CI's
 //! fault-injection matrix cell runs it under both linalg backends.
 
+// Driver code: test assertions panic by design, so unwrap/expect are
+// the failure mechanism, not a robustness gap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+// Wall-clock here only bounds how long shutdown may take to drain
+// (an upper-limit assertion), never a computed value.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 

@@ -4,6 +4,10 @@
 //! the cross-block re-training an exhaustive sweep used to pay (one
 //! round-0 local training per client per *sweep*, not per lane block).
 
+// Driver code: test assertions panic by design, so unwrap/expect are
+// the failure mechanism, not a robustness gap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use rand::rngs::StdRng;

@@ -2,6 +2,10 @@
 //! shared games, and the adaptive IPSS extension against the fixed-budget
 //! variant — all through the public prelude.
 
+// Driver code: test assertions panic by design, so unwrap/expect are
+// the failure mechanism, not a robustness gap.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use fedval_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
