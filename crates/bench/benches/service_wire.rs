@@ -1,0 +1,306 @@
+//! service_wire — the transport saturation bench: requests/sec vs
+//! p50/p99 latency of the HTTP/JSON wire (`fedval-serve`) at increasing
+//! client concurrency, solo vs concurrent serving, plus an admission-
+//! control section where a deliberately starved server (2 in-flight
+//! slots, 8 clients, slowed evaluations) sheds load with 429 +
+//! `Retry-After` and every shed request succeeds on retry.
+//!
+//! The utility under the wire is the hash game, so evaluation cost is
+//! negligible and the numbers isolate what this bench tracks: the
+//! transport + service-stack overhead per request (parse, translate,
+//! coalesce, encode). Values at every concurrency level are asserted
+//! **byte-identical** to direct in-process `ValuationServer::call` —
+//! the wire must never trade determinism for throughput.
+//!
+//! Report: `BENCH_transport.json` at the workspace root (override with
+//! `FEDVAL_TRANSPORT_JSON=<path>`), extending the percentile format of
+//! `BENCH_service.json`. `FEDVAL_QUICK=1` shrinks the sweep.
+
+// Bench driver: measurement harness code panics on setup failure by
+// design; unwrap/expect are the error mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::Write as _;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fedval_bench::quick;
+use fedval_core::fault::FaultyUtility;
+use fedval_core::service::{Estimator, ValuationRequest, ValuationServer};
+use fedval_core::utility::HashUtility;
+use fedval_serve::http::Client;
+use fedval_serve::json::Json;
+use fedval_serve::{WireConfig, WireServer};
+
+const N: usize = 8;
+
+fn utility() -> HashUtility {
+    HashUtility { n: N, seed: 0xBEE }
+}
+
+fn request_body(seed: u64) -> String {
+    format!(r#"{{"estimator":"stratified_mc","budget":40,"seed":{seed}}}"#)
+}
+
+/// Percentile (0..=100) of a small sample, nearest-rank.
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn values_bits(body: &Json) -> Vec<u64> {
+    body.get("values")
+        .and_then(Json::as_array)
+        .expect("response has values")
+        .iter()
+        .map(|v| v.as_f64().expect("value is a number").to_bits())
+        .collect()
+}
+
+struct Level {
+    clients: usize,
+    requests: usize,
+    secs: f64,
+    /// Per-request wall latency, seconds.
+    latencies: Vec<f64>,
+}
+
+impl Level {
+    fn req_per_sec(&self) -> f64 {
+        self.requests as f64 / self.secs
+    }
+}
+
+/// One concurrency level: `clients` keep-alive connections, each firing
+/// `per_client` requests back to back against a fresh server. Every
+/// response's values are checked byte-identical to the same-seed direct
+/// in-process call.
+fn run_level(clients: usize, per_client: usize, baselines: &[Vec<u64>]) -> Level {
+    let wire =
+        WireServer::start(ValuationServer::start(utility()), WireConfig::default()).expect("bind");
+    let addr = wire.addr();
+    let start = Instant::now();
+    let latencies: Vec<f64> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lats = Vec::with_capacity(per_client);
+                    for r in 0..per_client {
+                        let seed = (c * per_client + r) % baselines.len();
+                        let body = request_body(seed as u64);
+                        let t = Instant::now();
+                        let resp = client.post("/v1/value", &body).expect("roundtrip");
+                        lats.push(t.elapsed().as_secs_f64());
+                        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                        assert_eq!(
+                            values_bits(&resp.json().expect("JSON body")),
+                            baselines[seed],
+                            "wire values diverged from in-process call (seed {seed})"
+                        );
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    wire.shutdown();
+    Level {
+        clients,
+        requests: clients * per_client,
+        secs,
+        latencies,
+    }
+}
+
+fn print_level(l: &Level) {
+    println!(
+        "{:2} clients  {:4} requests  {:8.3}s  {:8.1} req/s  latency p50 {:7.3}ms p99 {:7.3}ms",
+        l.clients,
+        l.requests,
+        l.secs,
+        l.req_per_sec(),
+        percentile(&l.latencies, 50.0) * 1e3,
+        percentile(&l.latencies, 99.0) * 1e3,
+    );
+}
+
+fn level_json(l: &Level) -> String {
+    format!(
+        "{{\"clients\": {}, \"requests\": {}, \"seconds\": {:.6}, \
+         \"requests_per_sec\": {:.4}, \"latency_p50_ms\": {:.4}, \"latency_p99_ms\": {:.4}}}",
+        l.clients,
+        l.requests,
+        l.secs,
+        l.req_per_sec(),
+        percentile(&l.latencies, 50.0) * 1e3,
+        percentile(&l.latencies, 99.0) * 1e3,
+    )
+}
+
+struct Saturation {
+    clients: usize,
+    max_inflight: usize,
+    completed: usize,
+    rejected_429: usize,
+    secs: f64,
+    /// Latency of *successful* attempts only, seconds.
+    latencies: Vec<f64>,
+}
+
+/// The saturation section: a starved server (slowed evaluations, 2
+/// in-flight slots) against 8 clients. Rejected attempts honour
+/// `Retry-After` and retry until they succeed — admission control sheds
+/// load without losing work.
+fn run_saturation(clients: usize, per_client: usize, max_inflight: usize) -> Saturation {
+    let slow = FaultyUtility::new(utility()).delay_every_evals(1, Duration::from_millis(1));
+    let wire = WireServer::start(
+        ValuationServer::start(slow),
+        WireConfig {
+            max_inflight,
+            ..WireConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = wire.addr();
+    let start = Instant::now();
+    let per_thread: Vec<(usize, Vec<f64>)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut rejected = 0usize;
+                    let mut lats = Vec::with_capacity(per_client);
+                    for r in 0..per_client {
+                        let body = request_body((c * per_client + r) as u64);
+                        loop {
+                            let t = Instant::now();
+                            let resp = client.post("/v1/value", &body).expect("roundtrip");
+                            if resp.status == 429 {
+                                rejected += 1;
+                                let retry_ms: u64 = resp
+                                    .header("retry-after")
+                                    .and_then(|v| v.parse::<u64>().ok())
+                                    .map(|secs| secs * 1000)
+                                    .unwrap_or(100)
+                                    // The header's resolution is whole
+                                    // seconds; back off a fraction of it
+                                    // so the bench stays brisk while
+                                    // still honouring the signal's shape.
+                                    .min(50);
+                                thread::sleep(Duration::from_millis(retry_ms));
+                                continue;
+                            }
+                            assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                            lats.push(t.elapsed().as_secs_f64());
+                            break;
+                        }
+                    }
+                    (rejected, lats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    wire.shutdown();
+    let rejected_429 = per_thread.iter().map(|(r, _)| r).sum();
+    let latencies: Vec<f64> = per_thread.into_iter().flat_map(|(_, l)| l).collect();
+    Saturation {
+        clients,
+        max_inflight,
+        completed: latencies.len(),
+        rejected_429,
+        secs,
+        latencies,
+    }
+}
+
+fn main() {
+    let per_client = if quick() { 8 } else { 32 };
+    let levels: &[usize] = if quick() { &[1, 4] } else { &[1, 2, 4, 8] };
+    println!(
+        "service_wire: hash game n = {N}, stratified MC budget 40, {per_client} requests/client"
+    );
+
+    // Direct in-process baselines per seed, bit-compared at every level.
+    let distinct_seeds = 16.min(levels.iter().max().copied().unwrap_or(1) * per_client);
+    let baseline_server = ValuationServer::start(utility());
+    let baselines: Vec<Vec<u64>> = (0..distinct_seeds as u64)
+        .map(|seed| {
+            baseline_server
+                .call(ValuationRequest::new(Estimator::StratifiedMc, 40, seed))
+                .expect("healthy run")
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+    baseline_server.shutdown();
+
+    let results: Vec<Level> = levels
+        .iter()
+        .map(|&c| {
+            let l = run_level(c, per_client, &baselines);
+            print_level(&l);
+            l
+        })
+        .collect();
+
+    let sat_clients = if quick() { 4 } else { 8 };
+    let sat = run_saturation(sat_clients, per_client.min(8), 2);
+    println!(
+        "saturation  {:2} clients vs {} slots  {:4} completed  {:4} shed (429)  {:8.3}s  \
+         latency p50 {:7.3}ms p99 {:7.3}ms",
+        sat.clients,
+        sat.max_inflight,
+        sat.completed,
+        sat.rejected_429,
+        sat.secs,
+        percentile(&sat.latencies, 50.0) * 1e3,
+        percentile(&sat.latencies, 99.0) * 1e3,
+    );
+    assert_eq!(
+        sat.completed,
+        sat.clients * per_client.min(8),
+        "every shed request must eventually succeed on retry"
+    );
+    assert!(
+        sat.rejected_429 > 0,
+        "8 clients against 2 slots with slowed evals must shed load at least once"
+    );
+
+    let level_entries: Vec<String> = results.iter().map(level_json).collect();
+    let path = std::env::var("FEDVAL_TRANSPORT_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_transport.json", env!("CARGO_MANIFEST_DIR")));
+    let report = format!(
+        "{{\n  \"bench\": \"service_wire\",\n  \"scenario\": \"HTTP/1.1 keep-alive clients against one fedval-serve instance over the hash game (n = {N}, stratified MC, budget 40): requests/sec and per-request latency percentiles at rising client concurrency (solo = 1 client), every response bit-compared to direct in-process ValuationServer::call; plus a starved server (2 in-flight slots, slowed evaluations) shedding load with 429 + Retry-After and losing no work to retries\",\n  \"n_clients\": {N},\n  \"requests_per_client\": {per_client},\n  {},\n  \"levels\": [\n    {}\n  ],\n  \"saturation\": {{\"clients\": {}, \"max_inflight\": {}, \"completed\": {}, \"rejected_429\": {}, \"seconds\": {:.6}, \"latency_p50_ms\": {:.4}, \"latency_p99_ms\": {:.4}}},\n  \"values_bit_identical\": true\n}}\n",
+        fedval_bench::parallelism_json_fields(),
+        level_entries.join(",\n    "),
+        sat.clients,
+        sat.max_inflight,
+        sat.completed,
+        sat.rejected_429,
+        sat.secs,
+        percentile(&sat.latencies, 50.0) * 1e3,
+        percentile(&sat.latencies, 99.0) * 1e3,
+    );
+    let mut file = std::fs::File::create(&path).expect("create BENCH_transport.json");
+    file.write_all(report.as_bytes())
+        .expect("write BENCH_transport.json");
+    println!("wrote {path}");
+}

@@ -1480,6 +1480,21 @@ impl<U: Utility + Send + Sync + 'static> ValuationServer<U> {
         self.shutdown_in_place();
     }
 
+    /// Initiate shutdown through a shared reference: sets the shutdown
+    /// flag and wakes parked workers, so in-flight runs abort at their
+    /// next batch boundary and *new* submissions resolve with
+    /// [`ValuationError::ServerShutdown`] — but does **not** join
+    /// threads. Needed by owners that hold the server behind `Arc` (e.g.
+    /// a network transport reacting to SIGTERM while connection handlers
+    /// still share the server); the eventual [`shutdown`] or drop
+    /// completes the join.
+    ///
+    /// [`shutdown`]: ValuationServer::shutdown
+    pub fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+    }
+
     fn shutdown_in_place(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.cv.notify_all();

@@ -75,6 +75,33 @@ pub struct FlServiceConfig {
     pub flush_after_parked: Option<usize>,
 }
 
+impl FlServiceConfig {
+    /// Read the config from the environment — the knobs a deployment of
+    /// the wire transport (`fedval-serve`, see `crates/serve`) tunes
+    /// without a rebuild. Unset or unparsable variables keep the
+    /// [`Default`] (`None`): misconfiguration degrades to the unbounded
+    /// defaults rather than failing startup.
+    ///
+    /// | variable | field |
+    /// |----------|-------|
+    /// | `FEDVAL_TRAJCACHE_BYTES` | `traj_budget_bytes` |
+    /// | `FEDVAL_SERVICE_THREADS` | `threads` |
+    /// | `FEDVAL_FLUSH_MAX_WAIT_MS` | `flush_max_wait` (milliseconds) |
+    /// | `FEDVAL_FLUSH_AFTER_PARKED` | `flush_after_parked` |
+    pub fn from_env() -> FlServiceConfig {
+        fn env_usize(name: &str) -> Option<usize> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        FlServiceConfig {
+            traj_budget_bytes: env_usize("FEDVAL_TRAJCACHE_BYTES"),
+            threads: env_usize("FEDVAL_SERVICE_THREADS"),
+            flush_max_wait: env_usize("FEDVAL_FLUSH_MAX_WAIT_MS")
+                .map(|ms| Duration::from_millis(ms as u64)),
+            flush_after_parked: env_usize("FEDVAL_FLUSH_AFTER_PARKED"),
+        }
+    }
+}
+
 /// Start a multi-valuation server over one [`FlUtility`].
 ///
 /// Installs a fresh shared [`TrajectoryCache`] (budgeted per
@@ -242,5 +269,42 @@ mod tests {
             Some(&alloc)
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn config_from_env_reads_every_knob_and_tolerates_garbage() {
+        // Serialized against nothing: no other test in this binary reads
+        // these variables.
+        for name in [
+            "FEDVAL_TRAJCACHE_BYTES",
+            "FEDVAL_SERVICE_THREADS",
+            "FEDVAL_FLUSH_MAX_WAIT_MS",
+            "FEDVAL_FLUSH_AFTER_PARKED",
+        ] {
+            std::env::remove_var(name);
+        }
+        let unset = FlServiceConfig::from_env();
+        assert!(unset.traj_budget_bytes.is_none());
+        assert!(unset.threads.is_none());
+        assert!(unset.flush_max_wait.is_none());
+        assert!(unset.flush_after_parked.is_none());
+
+        std::env::set_var("FEDVAL_TRAJCACHE_BYTES", "4194304");
+        std::env::set_var("FEDVAL_SERVICE_THREADS", " 2 ");
+        std::env::set_var("FEDVAL_FLUSH_MAX_WAIT_MS", "250");
+        std::env::set_var("FEDVAL_FLUSH_AFTER_PARKED", "not-a-number");
+        let cfg = FlServiceConfig::from_env();
+        assert_eq!(cfg.traj_budget_bytes, Some(4 << 20));
+        assert_eq!(cfg.threads, Some(2));
+        assert_eq!(cfg.flush_max_wait, Some(Duration::from_millis(250)));
+        assert_eq!(cfg.flush_after_parked, None, "garbage degrades to default");
+        for name in [
+            "FEDVAL_TRAJCACHE_BYTES",
+            "FEDVAL_SERVICE_THREADS",
+            "FEDVAL_FLUSH_MAX_WAIT_MS",
+            "FEDVAL_FLUSH_AFTER_PARKED",
+        ] {
+            std::env::remove_var(name);
+        }
     }
 }

@@ -1,0 +1,40 @@
+//! `fedval-serve`: the HTTP/1.1 + JSON wire transport of the valuation
+//! service — the network front of the stack grown in `fedval_core::service`
+//! and `fedval_fl::service::serve`.
+//!
+//! Everything is hand-rolled on `std::net` in the style of the `shims/`
+//! crates (the build environment has no registry access): [`json`] is a
+//! dependency-free JSON encode/parse module whose float formatting
+//! preserves the service's bit-identity contract, [`http`] a minimal
+//! HTTP/1.1 server/client pair (keep-alive, pipelining, strict limits),
+//! [`wire`] the schema — every [`ValuationError`] variant maps onto a
+//! distinct documented status — and [`server`] the accept loop with
+//! admission control and drain-on-shutdown.
+//!
+//! The contract the conformance suite (`tests/tests/wire_*.rs`) pins:
+//! a value served over the socket is **byte-identical** to the same
+//! request issued in process via [`ValuationServer::call`] — same seeds,
+//! same coalesced flushes, same partial prefixes.
+//!
+//! ```no_run
+//! use fedval_core::service::ValuationServer;
+//! use fedval_core::utility::HashUtility;
+//! use fedval_serve::server::{WireConfig, WireServer};
+//!
+//! let valuation = ValuationServer::start(HashUtility { n: 6, seed: 42 });
+//! let wire = WireServer::start(valuation, WireConfig::default()).expect("bind");
+//! println!("listening on http://{}", wire.addr());
+//! // … curl -d '{"estimator":"stratified_mc","budget":30,"seed":7}' \
+//! //        http://ADDR/v1/value
+//! wire.shutdown();
+//! ```
+//!
+//! [`ValuationError`]: fedval_core::service::ValuationError
+//! [`ValuationServer::call`]: fedval_core::service::ValuationServer::call
+
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use server::{WireConfig, WireServer};
